@@ -1,0 +1,33 @@
+// Shared main() for the experiment bench binaries: run the registered
+// microbenchmarks, then regenerate the experiment table.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/experiment_config.hpp"
+#include "analysis/experiments.hpp"
+
+namespace radio::benchutil {
+
+using ExperimentFn = ExperimentResult (*)(const ExperimentConfig&);
+
+inline int run_bench_main(int argc, char** argv, const char* experiment_id,
+                          ExperimentFn experiment) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const ExperimentConfig config =
+      ExperimentConfig::from_environment(experiment_id);
+  experiment(config).present(config);
+  return 0;
+}
+
+}  // namespace radio::benchutil
+
+#define RADIO_BENCH_MAIN(experiment_id, experiment_fn)                  \
+  int main(int argc, char** argv) {                                    \
+    return ::radio::benchutil::run_bench_main(argc, argv, experiment_id, \
+                                              experiment_fn);          \
+  }

@@ -1,0 +1,28 @@
+// E10 bench: microbenchmarks G(n,m) generation against G(n,p), then
+// regenerates the model-equivalence table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "graph/random_graph.hpp"
+
+namespace {
+
+void BM_GenerateGnm(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto m = static_cast<radio::EdgeCount>(
+      static_cast<double>(n) * ln_n * ln_n / 2.0);
+  radio::Rng rng(47);
+  for (auto _ : state) {
+    const radio::Graph g = radio::generate_gnm(n, m, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(m);
+}
+BENCHMARK(BM_GenerateGnm)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e10", radio::run_e10_model_equivalence)

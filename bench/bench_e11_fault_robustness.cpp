@@ -1,0 +1,39 @@
+// E11 bench: microbenchmarks a faulted session round, then regenerates the
+// fault-robustness table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "sim/faults.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+void BM_FaultedSessionRound(benchmark::State& state) {
+  const radio::NodeId n = 1 << 14;
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(53);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  radio::SessionFaults faults = radio::make_crash_faults(
+      instance.graph.num_nodes(), 0.1, 0, rng);
+  faults.loss = 0.1;
+  faults.seed = 99;
+  std::vector<radio::NodeId> transmitters;
+  for (radio::NodeId v = 0; v < n; ++v)
+    if (rng.bernoulli(0.02)) transmitters.push_back(v);
+  radio::BroadcastSession session(instance.graph, 0, std::move(faults));
+  for (auto _ : state) {
+    const radio::RoundStats& stats = session.step(transmitters);
+    benchmark::DoNotOptimize(stats.collisions);
+  }
+}
+BENCHMARK(BM_FaultedSessionRound);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e11", radio::run_e11_fault_robustness)

@@ -1,0 +1,36 @@
+// E12 bench: microbenchmarks the knowledge-merge gossip round, then
+// regenerates the gossip scaling table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "gossip/gossip_session.hpp"
+
+namespace {
+
+void BM_GossipRound(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(61);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  radio::GossipSession session(instance.graph);
+  const double q = 1.0 / params.expected_degree();
+  std::vector<radio::NodeId> transmitters;
+  for (auto _ : state) {
+    transmitters.clear();
+    for (radio::NodeId v = 0; v < instance.graph.num_nodes(); ++v)
+      if (rng.bernoulli(q)) transmitters.push_back(v);
+    const radio::GossipRoundStats& stats = session.step(transmitters);
+    benchmark::DoNotOptimize(stats.rumors_moved);
+  }
+}
+BENCHMARK(BM_GossipRound)->Arg(1 << 9)->Arg(1 << 11);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e12", radio::run_e12_gossip_scaling)

@@ -1,0 +1,37 @@
+// E13 bench: microbenchmarks the observation-recording engine round (the
+// collision-detection extension's extra cost), then regenerates the adaptive
+// backoff comparison table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+void BM_ObservedSessionRound(benchmark::State& state) {
+  const radio::NodeId n = 1 << 14;
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(67);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  std::vector<radio::NodeId> transmitters;
+  for (radio::NodeId v = 0; v < n; ++v)
+    if (rng.bernoulli(0.02)) transmitters.push_back(v);
+  radio::BroadcastSession session(instance.graph, 0);
+  if (state.range(0) != 0) session.enable_observations();
+  for (auto _ : state) {
+    const radio::RoundStats& stats = session.step(transmitters);
+    benchmark::DoNotOptimize(stats.collisions);
+  }
+  state.SetLabel(state.range(0) != 0 ? "with observations" : "base model");
+}
+BENCHMARK(BM_ObservedSessionRound)->Arg(0)->Arg(1);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e13", radio::run_e13_adaptive_backoff)

@@ -1,0 +1,36 @@
+// E14 bench: microbenchmarks multi-source session setup + first rounds,
+// then regenerates the multi-source scaling table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+void BM_MultiSourceFirstRounds(benchmark::State& state) {
+  const radio::NodeId n = 1 << 13;
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(71);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  std::vector<radio::NodeId> sources;
+  for (std::size_t i = 0; i < k; ++i)
+    sources.push_back(static_cast<radio::NodeId>(i * (n / k)));
+  for (auto _ : state) {
+    radio::BroadcastSession session(instance.graph, sources);
+    const radio::RoundStats& stats = session.step(sources);
+    benchmark::DoNotOptimize(stats.newly_informed);
+  }
+  state.counters["sources"] = static_cast<double>(k);
+}
+BENCHMARK(BM_MultiSourceFirstRounds)->Arg(1)->Arg(16)->Arg(256);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e14", radio::run_e14_multisource)

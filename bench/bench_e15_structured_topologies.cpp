@@ -1,0 +1,31 @@
+// E15 bench: microbenchmarks the topology generators, then regenerates the
+// structured-topology comparison table.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/topologies.hpp"
+
+namespace {
+
+void BM_MakeHypercube(benchmark::State& state) {
+  const auto dim = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const radio::Graph g = radio::make_hypercube(dim);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_MakeHypercube)->Arg(10)->Arg(14);
+
+void BM_MakeRandomRegular(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  radio::Rng rng(83);
+  for (auto _ : state) {
+    const radio::Graph g = radio::make_random_regular(n, 8, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_MakeRandomRegular)->Arg(1 << 10)->Arg(1 << 13);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e15", radio::run_e15_structured_topologies)

@@ -1,0 +1,36 @@
+// E1 bench: microbenchmarks the Theorem-5 schedule build, then regenerates
+// the E1 table (centralized rounds vs n across degree regimes).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "core/centralized.hpp"
+
+namespace {
+
+void BM_BuildCentralizedSchedule(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(12345);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  double rounds = 0.0;
+  for (auto _ : state) {
+    radio::Rng build_rng(state.iterations());
+    const radio::CentralizedResult built = radio::build_centralized_schedule(
+        instance.graph, 0, params.expected_degree(), build_rng);
+    rounds = built.report.total_rounds;
+    benchmark::DoNotOptimize(built.schedule.rounds.data());
+  }
+  state.counters["rounds"] = rounds;
+  state.counters["nodes_per_s"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BuildCentralizedSchedule)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e1", radio::run_e1_centralized_scaling)

@@ -1,0 +1,37 @@
+// E2 bench: microbenchmarks G(n,p) generation across densities (the skip
+// sampler vs the dense complement sampler), then regenerates the E2 table.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "graph/random_graph.hpp"
+
+namespace {
+
+void BM_GenerateGnpSparse(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const auto params = radio::GnpParams::with_degree(n, 64.0);
+  radio::Rng rng(7);
+  for (auto _ : state) {
+    const radio::Graph g = radio::generate_gnp(params, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.counters["edges_per_s"] = benchmark::Counter(
+      static_cast<double>(n) * 32.0,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_GenerateGnpSparse)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_GenerateGnpDense(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const radio::GnpParams params{n, 0.75};
+  radio::Rng rng(7);
+  for (auto _ : state) {
+    const radio::Graph g = radio::generate_gnp(params, rng);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GenerateGnpDense)->Arg(1 << 9)->Arg(1 << 11);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e2", radio::run_e2_centralized_density)

@@ -1,0 +1,38 @@
+// E3 bench: microbenchmarks one full distributed broadcast (Theorem 7),
+// then regenerates the E3 table (rounds vs n, both tail variants).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "core/distributed.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+void BM_DistributedBroadcast(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(99);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  const auto budget = static_cast<std::uint32_t>(60.0 * ln_n);
+  double rounds = 0.0;
+  for (auto _ : state) {
+    radio::ElsasserGasieniecBroadcast protocol;
+    radio::Rng run_rng(state.iterations());
+    const radio::BroadcastRun run = radio::broadcast_with(
+        protocol, radio::context_for(instance), instance.graph, 0, run_rng,
+        budget);
+    rounds = run.rounds;
+    benchmark::DoNotOptimize(run.informed);
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_DistributedBroadcast)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e3", radio::run_e3_distributed_scaling)

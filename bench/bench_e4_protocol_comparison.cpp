@@ -1,0 +1,41 @@
+// E4 bench: microbenchmarks the radio engine's per-round cost at several
+// transmitter densities, then regenerates the E4 protocol comparison table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "sim/session.hpp"
+
+namespace {
+
+/// One engine round with a `fraction` of all nodes transmitting: the cost
+/// every protocol pays per round.
+void BM_RadioEngineRound(benchmark::State& state) {
+  const radio::NodeId n = 1 << 15;
+  const double fraction = static_cast<double>(state.range(0)) / 1000.0;
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(3);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  std::vector<radio::NodeId> transmitters;
+  for (radio::NodeId v = 0; v < n; ++v)
+    if (rng.bernoulli(fraction)) transmitters.push_back(v);
+
+  radio::BroadcastSession session(instance.graph, 0);
+  for (auto _ : state) {
+    const radio::RoundStats& stats = session.step(transmitters);
+    benchmark::DoNotOptimize(stats.collisions);
+  }
+  state.counters["transmitters"] = static_cast<double>(transmitters.size());
+  state.counters["rounds_per_s"] =
+      benchmark::Counter(1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_RadioEngineRound)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e4", radio::run_e4_protocol_comparison)

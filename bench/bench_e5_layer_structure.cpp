@@ -1,0 +1,50 @@
+// E5 bench: microbenchmarks the BFS layer decomposition and the Lemma-3
+// probe, then regenerates the E5 layer-structure table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "core/layer_probe.hpp"
+#include "graph/bfs.hpp"
+
+namespace {
+
+void BM_BfsLayers(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(17);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  for (auto _ : state) {
+    const radio::LayerDecomposition layers =
+        radio::bfs_layers(instance.graph, 0);
+    benchmark::DoNotOptimize(layers.layers.size());
+  }
+  state.counters["edges_per_s"] = benchmark::Counter(
+      static_cast<double>(instance.graph.num_edges()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BfsLayers)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+void BM_LayerProbe(benchmark::State& state) {
+  const auto n = static_cast<radio::NodeId>(state.range(0));
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(17);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  const radio::LayerDecomposition layers = radio::bfs_layers(instance.graph, 0);
+  for (auto _ : state) {
+    const auto rows = radio::probe_layers(instance.graph, layers,
+                                          params.expected_degree());
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_LayerProbe)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e5", radio::run_e5_layer_structure)

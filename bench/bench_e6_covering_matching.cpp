@@ -1,0 +1,64 @@
+// E6 bench: microbenchmarks the Lemma-4 constructions (sampled independent
+// cover, private-neighbor matching), then regenerates the E6 table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "graph/covering.hpp"
+
+namespace {
+
+struct Fixture {
+  radio::Graph graph;
+  std::vector<radio::NodeId> x, y;
+  double d = 0.0;
+};
+
+Fixture make_fixture(radio::NodeId n, std::size_t y_size) {
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(23);
+  radio::BroadcastInstance instance = radio::make_broadcast_instance(params, rng);
+  Fixture f;
+  f.graph = std::move(instance.graph);
+  f.d = params.expected_degree();
+  const radio::NodeId total = f.graph.num_nodes();
+  const auto x_size = static_cast<std::size_t>(0.6 * total);
+  for (radio::NodeId v = 0; v < total; ++v) {
+    if (f.x.size() < x_size)
+      f.x.push_back(v);
+    else if (f.y.size() < y_size)
+      f.y.push_back(v);
+  }
+  return f;
+}
+
+void BM_SampledIndependentCover(benchmark::State& state) {
+  const Fixture f =
+      make_fixture(1 << 14, static_cast<std::size_t>(state.range(0)));
+  radio::Rng rng(29);
+  for (auto _ : state) {
+    const radio::SampledCover cover =
+        radio::sample_independent_cover(f.graph, f.x, f.y, 1.0 / f.d, rng);
+    benchmark::DoNotOptimize(cover.covered.size());
+  }
+}
+BENCHMARK(BM_SampledIndependentCover)->Arg(256)->Arg(2048);
+
+void BM_PrivateNeighborMatching(benchmark::State& state) {
+  const Fixture f =
+      make_fixture(1 << 14, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const radio::FullMatching matching =
+        radio::private_neighbor_matching(f.graph, f.x, f.y);
+    benchmark::DoNotOptimize(matching.pairs.size());
+  }
+}
+BENCHMARK(BM_PrivateNeighborMatching)->Arg(64)->Arg(256);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e6", radio::run_e6_covering_matching)

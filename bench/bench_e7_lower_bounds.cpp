@@ -1,0 +1,54 @@
+// E7 bench: microbenchmarks one adversarial oblivious-schedule evaluation,
+// then regenerates the E7 lower-bound table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "core/lower_bound.hpp"
+
+namespace {
+
+void BM_ObliviousSearch(benchmark::State& state) {
+  const radio::NodeId n = 1 << 10;
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(31);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  radio::ObliviousSearchParams search;
+  search.round_budget = static_cast<std::uint32_t>(10.0 * ln_n);
+  search.num_candidates = static_cast<int>(state.range(0));
+  search.trials_per_candidate = 1;
+  for (auto _ : state) {
+    radio::Rng search_rng(state.iterations());
+    const auto outcome = radio::search_oblivious_schedules(
+        instance.graph, 0, radio::context_for(instance), search, search_rng);
+    benchmark::DoNotOptimize(outcome.best_rounds);
+  }
+  state.counters["candidates"] = static_cast<double>(search.num_candidates);
+}
+BENCHMARK(BM_ObliviousSearch)->Arg(4)->Arg(16);
+
+void BM_SmallSetAdversary(benchmark::State& state) {
+  const radio::NodeId n = 256;
+  const radio::GnpParams params{n, 0.5};
+  radio::Rng rng(37);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  radio::SmallSetAdversaryParams adversary;
+  adversary.round_budget = 32;
+  adversary.num_schedules = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    radio::Rng probe_rng(state.iterations());
+    const auto outcome = radio::probe_small_set_schedules(instance.graph, 0,
+                                                          adversary, probe_rng);
+    benchmark::DoNotOptimize(outcome.best_rounds);
+  }
+}
+BENCHMARK(BM_SmallSetAdversary)->Arg(16)->Arg(64);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e7", radio::run_e7_lower_bounds)

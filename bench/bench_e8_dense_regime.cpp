@@ -1,0 +1,32 @@
+// E8 bench: microbenchmarks dense-graph schedule building (p close to 1),
+// then regenerates the E8 dense-regime table.
+#include <benchmark/benchmark.h>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "core/centralized.hpp"
+
+namespace {
+
+void BM_DenseCentralizedBuild(benchmark::State& state) {
+  const radio::NodeId n = 1 << 10;
+  const double f = 1.0 / static_cast<double>(state.range(0));
+  const radio::GnpParams params{n, 1.0 - f};
+  radio::Rng rng(41);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  double rounds = 0.0;
+  for (auto _ : state) {
+    radio::Rng build_rng(state.iterations());
+    const radio::CentralizedResult built = radio::build_centralized_schedule(
+        instance.graph, 0, params.expected_degree(), build_rng);
+    rounds = built.report.total_rounds;
+    benchmark::DoNotOptimize(built.schedule.rounds.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_DenseCentralizedBuild)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e8", radio::run_e8_dense_regime)

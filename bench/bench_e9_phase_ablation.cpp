@@ -1,0 +1,46 @@
+// E9 bench: microbenchmarks the builder under its ablation options, then
+// regenerates the E9 ablation table.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "bench_common.hpp"
+#include "core/centralized.hpp"
+
+namespace {
+
+void BM_BuildWithOptions(benchmark::State& state) {
+  const radio::NodeId n = 1 << 12;
+  const double ln_n = std::log(static_cast<double>(n));
+  const auto params = radio::GnpParams::with_degree(n, ln_n * ln_n);
+  radio::Rng rng(43);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+
+  radio::CentralizedOptions options;
+  switch (state.range(0)) {
+    case 1:
+      options.ablate_parity = true;
+      break;
+    case 2:
+      options.use_private_matching = false;
+      break;
+    default:
+      break;
+  }
+  double rounds = 0.0;
+  for (auto _ : state) {
+    radio::Rng build_rng(state.iterations());
+    const radio::CentralizedResult built = radio::build_centralized_schedule(
+        instance.graph, 0, params.expected_degree(), build_rng, options);
+    rounds = built.report.total_rounds;
+    benchmark::DoNotOptimize(built.schedule.rounds.data());
+  }
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_BuildWithOptions)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+RADIO_BENCH_MAIN("e9", radio::run_e9_phase_ablation)

@@ -1,0 +1,95 @@
+// Scenario: an emergency alert must reach every handset in a dense ad-hoc
+// mesh (the motivating workload of the paper's introduction — wireless nodes
+// with a shared collision channel, no infrastructure).
+//
+// Two deployments are compared on the same city-scale network:
+//   * PLANNED: a control center knows the topology (it deployed the mesh)
+//     and precomputes a Theorem-5 schedule that handsets replay;
+//   * AD-HOC: handsets know only the deployment parameters (n, p) and run
+//     the Theorem-7 randomized protocol after a disaster scrambles any
+//     central coordination.
+// The example also reports the energy proxy (total transmissions) and the
+// per-round informed curve at key checkpoints (50% / 90% / 99% / 100%).
+//
+//   ./adhoc_emergency_broadcast [--n=32768] [--d=110] [--seed=7]
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "core/distributed.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// First round reaching `fraction` of the nodes, or -1.
+int round_reaching(const radio::BroadcastSession& session, double fraction) {
+  const double target =
+      fraction * static_cast<double>(session.graph().num_nodes());
+  for (const radio::RoundStats& s : session.history())
+    if (static_cast<double>(s.informed_total) >= target)
+      return static_cast<int>(s.round);
+  return -1;
+}
+
+void report(const char* label, const radio::BroadcastSession& session,
+            std::uint64_t transmissions) {
+  std::printf(
+      "%-8s reach 50%% @ round %3d | 90%% @ %3d | 99%% @ %3d | all @ %3d | "
+      "%llu transmissions\n",
+      label, round_reaching(session, 0.5), round_reaching(session, 0.9),
+      round_reaching(session, 0.99), round_reaching(session, 1.0),
+      static_cast<unsigned long long>(transmissions));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  radio::CliArgs args(argc, argv);
+  const auto n = static_cast<radio::NodeId>(args.get_uint("n", 32768));
+  const double ln_n = std::log(static_cast<double>(n));
+  const double d = args.get_double("d", ln_n * ln_n);
+  const std::uint64_t seed = args.get_uint("seed", 7);
+  args.validate();
+
+  radio::Rng rng(seed);
+  const auto params = radio::GnpParams::with_degree(n, d);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  const radio::NodeId source = radio::pick_source(instance.graph, rng);
+
+  std::printf(
+      "emergency alert over %u handsets, mean radio range degree %.1f, "
+      "alert origin: node %u\n\n",
+      instance.graph.num_nodes(), instance.realized_mean_degree, source);
+
+  // PLANNED deployment.
+  {
+    const radio::CentralizedResult built = radio::build_centralized_schedule(
+        instance.graph, source, d, rng);
+    radio::BroadcastSession session(instance.graph, source);
+    radio::play_schedule(built.schedule, session);
+    report("PLANNED", session, built.report.total_transmissions);
+  }
+
+  // AD-HOC deployment (three independent runs: randomized protocol).
+  for (int run_idx = 0; run_idx < 3; ++run_idx) {
+    radio::ElsasserGasieniecBroadcast protocol;
+    radio::BroadcastSession session(instance.graph, source);
+    const radio::BroadcastRun run = radio::run_protocol(
+        protocol, radio::context_for(instance), session, rng,
+        static_cast<std::uint32_t>(80.0 * ln_n));
+    report(run_idx == 0 ? "AD-HOC" : "  (re-run)", session, run.transmissions);
+  }
+
+  std::printf(
+      "\nplanned schedules finish in ~ln n/ln d + ln d rounds; ad-hoc pays "
+      "a constant-factor premium but needs zero topology knowledge.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

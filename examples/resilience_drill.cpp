@@ -1,0 +1,98 @@
+// Resilience drill: what happens to a broadcast plan when the network takes
+// damage. A control center precomputes a Theorem-5 schedule; we then crash a
+// fraction of the nodes and add per-reception loss, and compare the
+// pre-planned replay against the adaptive Theorem-7 protocol and the
+// collision-detection backoff (which needs no p and no plan).
+//
+//   ./resilience_drill [--n=8192] [--d=80] [--crash=0.15] [--loss=0.1] [--seed=17]
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "core/distributed.hpp"
+#include "core/scheduled_protocol.hpp"
+#include "protocols/adaptive_backoff.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) try {
+  radio::CliArgs args(argc, argv);
+  const auto n = static_cast<radio::NodeId>(args.get_uint("n", 8192));
+  const double ln_n = std::log(static_cast<double>(n));
+  const double d = args.get_double("d", ln_n * ln_n);
+  const double crash = args.get_double("crash", 0.15);
+  const double loss = args.get_double("loss", 0.10);
+  const std::uint64_t seed = args.get_uint("seed", 17);
+  args.validate();
+
+  radio::Rng rng(seed);
+  const auto params = radio::GnpParams::with_degree(n, d);
+  const radio::BroadcastInstance instance =
+      radio::make_broadcast_instance(params, rng);
+  const radio::NodeId source = radio::pick_source(instance.graph, rng);
+
+  radio::SessionFaults faults = radio::make_crash_faults(
+      instance.graph.num_nodes(), crash, source, rng);
+  faults.loss = loss;
+  faults.seed = seed ^ 0xFA17;
+  const std::size_t crashed = faults.crashed.count();
+
+  std::printf(
+      "drill on G(n=%u, d=%.1f): %zu nodes destroyed (%.0f%%), %.0f%% "
+      "reception loss, alert origin node %u\n\n",
+      instance.graph.num_nodes(), d, crashed, crash * 100.0, loss * 100.0,
+      source);
+
+  // The plan is drawn up BEFORE the damage (that is the drill).
+  const radio::CentralizedResult built = radio::build_centralized_schedule(
+      instance.graph, source, d, rng);
+
+  radio::Table table({"responder", "informed/alive", "rounds", "completed"});
+  const auto budget = static_cast<std::uint32_t>(150.0 * ln_n);
+  auto drill = [&](radio::Protocol& protocol, std::uint32_t round_budget) {
+    radio::BroadcastSession session(instance.graph, source, faults);
+    radio::Rng run_rng = radio::Rng::for_stream(seed, 7);
+    const radio::BroadcastRun run =
+        radio::run_protocol(protocol, radio::context_for(instance), session,
+                            run_rng, round_budget);
+    char frac[32];
+    std::snprintf(frac, sizeof(frac), "%zu/%zu", session.informed_count(),
+                  session.alive_count());
+    table.row()
+        .cell(protocol.name())
+        .cell(frac)
+        .cell(static_cast<std::uint64_t>(run.rounds))
+        .cell(run.completed ? "yes" : "NO");
+  };
+
+  {
+    radio::ScheduledProtocol protocol(built.schedule,
+                                      "pre-planned schedule (Thm 5)");
+    drill(protocol,
+          std::max<std::uint32_t>(
+              budget, static_cast<std::uint32_t>(built.schedule.length())));
+  }
+  {
+    radio::ElsasserGasieniecBroadcast protocol;
+    drill(protocol, budget);
+  }
+  {
+    radio::AdaptiveBackoffProtocol protocol;
+    drill(protocol, budget);
+  }
+  table.print("responders under identical damage");
+
+  std::printf(
+      "\npre-planned transmitter sets silently lose their crashed members, "
+      "so collisions resolve differently than planned and stragglers remain; "
+      "the randomized protocols re-roll every round and route around the "
+      "damage.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

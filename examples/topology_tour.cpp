@@ -1,0 +1,79 @@
+// Topology tour: one broadcast on each structured topology, showing where
+// the diameter term takes over from the collision term (the E15 story as a
+// hands-on demo).
+//
+//   ./topology_tour [--seed=19]
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "core/distributed.hpp"
+#include "core/tree_schedule.hpp"
+#include "graph/degree.hpp"
+#include "graph/diameter.hpp"
+#include "graph/topologies.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void tour_stop(radio::Table& table, const std::string& name,
+               const radio::Graph& g, std::uint64_t seed) {
+  const double mean_degree = radio::degree_stats(g).mean_degree;
+  radio::Rng rng(seed);
+  const std::uint32_t diameter = radio::double_sweep_diameter(g, rng);
+
+  // Randomized distributed broadcast (robust variant).
+  radio::DistributedOptions options;
+  options.tail_includes_late_informed = true;
+  radio::ElsasserGasieniecBroadcast protocol(options);
+  const radio::ProtocolContext ctx{
+      g.num_nodes(), mean_degree / static_cast<double>(g.num_nodes())};
+  const auto budget = static_cast<std::uint32_t>(
+      30.0 * (diameter + std::log(static_cast<double>(g.num_nodes()))) + 100);
+  const radio::BroadcastRun run =
+      radio::broadcast_with(protocol, ctx, g, 0, rng, budget);
+
+  // Deterministic centralized plan for comparison.
+  const radio::TreeScheduleResult tree = radio::build_tree_schedule(g, 0);
+
+  table.row()
+      .cell(name)
+      .cell(static_cast<std::uint64_t>(g.num_nodes()))
+      .cell(mean_degree, 1)
+      .cell(static_cast<std::uint64_t>(diameter))
+      .cell(run.completed ? static_cast<std::int64_t>(run.rounds)
+                          : std::int64_t{-1})
+      .cell(static_cast<std::uint64_t>(tree.report.total_rounds))
+      .cell(static_cast<double>(run.rounds) / std::max(1u, diameter), 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  radio::CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_uint("seed", 19);
+  args.validate();
+
+  radio::Table table({"topology", "n", "degree", "diameter", "thm7 rounds",
+                      "tree rounds", "rounds/D"});
+  radio::Rng gen(seed);
+  tour_stop(table, "hypercube d=10", radio::make_hypercube(10), seed);
+  tour_stop(table, "torus 32x32", radio::make_torus(32, 32), seed);
+  tour_stop(table, "ring n=256", radio::make_ring(256), seed);
+  tour_stop(table, "ternary tree depth=6", radio::make_complete_tree(3, 6),
+            seed);
+  tour_stop(table, "random 8-regular n=1024",
+            radio::make_random_regular(1024, 8, gen), seed);
+  table.print("topology tour");
+
+  std::printf(
+      "\nrounds/D near 1-2 means distance-bound (ring, torus); large ratios "
+      "at tiny D mean the collision lottery is the cost (hypercube, random "
+      "regular) - the regime the paper's random-graph bounds live in.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,35 @@
+#include "analysis/experiment_config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace radio {
+
+ExperimentConfig ExperimentConfig::from_environment(
+    const std::string& experiment_id) {
+  ExperimentConfig config;
+  if (const char* trials = std::getenv("RADIO_TRIALS"))
+    config.trials = std::max(1, std::atoi(trials));
+  if (const char* seed = std::getenv("RADIO_SEED"))
+    config.seed = std::strtoull(seed, nullptr, 10);
+  if (const char* full = std::getenv("RADIO_FULL"))
+    config.quick = std::string(full) == "0" || std::string(full).empty();
+  if (const char* dir = std::getenv("RADIO_CSV_DIR"))
+    config.csv_path = std::string(dir) + "/" + experiment_id + ".csv";
+  return config;
+}
+
+void ExperimentResult::present(const ExperimentConfig& config) const {
+  table.print(id + " — " + title);
+  for (const std::string& note : notes) std::printf("  %s\n", note.c_str());
+  if (!config.csv_path.empty()) {
+    if (table.write_csv(config.csv_path))
+      std::printf("  [csv written to %s]\n", config.csv_path.c_str());
+    else
+      std::printf("  [failed to write csv to %s]\n", config.csv_path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace radio

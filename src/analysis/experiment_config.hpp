@@ -1,0 +1,34 @@
+// Shared experiment configuration and the result bundle every E* driver
+// returns (a table for stdout/CSV plus free-form notes such as model fits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace radio {
+
+struct ExperimentConfig {
+  int trials = 16;            ///< Monte-Carlo trials per table row
+  std::uint64_t seed = 42;    ///< base seed; trial i uses stream (seed, i)
+  bool quick = true;          ///< quick: smaller n grid for CI-speed runs
+  std::string csv_path;       ///< when non-empty, the table is mirrored here
+
+  /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR from the
+  /// environment so bench binaries can be scaled up without rebuilds.
+  static ExperimentConfig from_environment(const std::string& experiment_id);
+};
+
+struct ExperimentResult {
+  std::string id;                  ///< "E1" … "E9"
+  std::string title;
+  Table table;
+  std::vector<std::string> notes;  ///< fits, pass/fail shape checks, caveats
+
+  /// Prints the table and notes; writes CSV if configured.
+  void present(const ExperimentConfig& config) const;
+};
+
+}  // namespace radio

@@ -1,0 +1,54 @@
+// Monte-Carlo trial execution, parallelized across trials with OpenMP.
+//
+// Determinism contract: trial i always runs with Rng::for_stream(seed, i),
+// so results are bit-identical for any thread count (including a serial
+// build without OpenMP). Trials share no mutable state; each generates its
+// own graph and session. This is the idiom the hpc-parallel guides
+// recommend for embarrassingly parallel sweeps: parallel for over
+// independent iterations, dynamic scheduling because trial cost varies with
+// the random instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+#if defined(RADIO_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace radio {
+
+/// Number of worker threads trials will use (1 without OpenMP).
+inline int trial_threads() noexcept {
+#if defined(RADIO_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs `fn(trial_index, rng)` for trial_index in [0, trials) and collects
+/// the results in trial order. T must be default-constructible and movable.
+template <class T, class Fn>
+std::vector<T> run_trials(int trials, std::uint64_t seed, Fn&& fn) {
+  std::vector<T> results(static_cast<std::size_t>(trials));
+#if defined(RADIO_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (int i = 0; i < trials; ++i) {
+    Rng rng = Rng::for_stream(seed, static_cast<std::uint64_t>(i));
+    results[static_cast<std::size_t>(i)] = fn(i, rng);
+  }
+  return results;
+}
+
+/// Convenience for experiments whose per-trial outcome is one double
+/// (e.g. a round count).
+template <class Fn>
+std::vector<double> run_trials_double(int trials, std::uint64_t seed, Fn&& fn) {
+  return run_trials<double>(trials, seed, static_cast<Fn&&>(fn));
+}
+
+}  // namespace radio

@@ -1,0 +1,42 @@
+#include "analysis/workload.hpp"
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "util/assert.hpp"
+
+namespace radio {
+
+BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng) {
+  RADIO_EXPECTS(params.n >= 2);
+  BroadcastInstance instance;
+  instance.params = params;
+
+  constexpr int kAttempts = 8;
+  Graph last;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    last = generate_gnp(params, rng);
+    if (is_connected(last)) {
+      instance.graph = std::move(last);
+      instance.resampled = attempt > 0;
+      instance.realized_mean_degree = degree_stats(instance.graph).mean_degree;
+      return instance;
+    }
+  }
+  instance.resampled = true;
+  instance.giant_component = true;
+  instance.graph = largest_component_subgraph(last).graph;
+  RADIO_ENSURES(instance.graph.num_nodes() >= 1);
+  instance.realized_mean_degree = degree_stats(instance.graph).mean_degree;
+  return instance;
+}
+
+NodeId pick_source(const Graph& g, Rng& rng) {
+  RADIO_EXPECTS(g.num_nodes() > 0);
+  return static_cast<NodeId>(rng.uniform_below(g.num_nodes()));
+}
+
+ProtocolContext context_for(const BroadcastInstance& instance) noexcept {
+  return ProtocolContext{instance.graph.num_nodes(), instance.params.p};
+}
+
+}  // namespace radio

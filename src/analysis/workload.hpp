@@ -1,0 +1,33 @@
+// Workload generation shared by all experiments: connected G(n,p) instances
+// with bookkeeping about how the instance was obtained.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/random_graph.hpp"
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+struct BroadcastInstance {
+  Graph graph;
+  GnpParams params;
+  double realized_mean_degree = 0.0;
+  bool resampled = false;        ///< needed more than one G(n,p) draw
+  bool giant_component = false;  ///< fell back to the giant component
+};
+
+/// Draws a connected instance: resamples G(n,p) a few times, then falls back
+/// to the giant component of the last draw (recording which happened). The
+/// paper's regime makes the fallback a o(1/n)-probability event; the flags
+/// keep the harness honest when parameters leave the regime.
+BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng);
+
+/// Uniformly random source node.
+NodeId pick_source(const Graph& g, Rng& rng);
+
+/// Protocol context matching an instance (n from the realized graph, p from
+/// the parameters).
+ProtocolContext context_for(const BroadcastInstance& instance) noexcept;
+
+}  // namespace radio

@@ -1,0 +1,105 @@
+// Theorem 5: centralized radio broadcast in O(ln n / ln d + ln d) rounds.
+//
+// The builder knows the whole topology (the centralized model of §3.1) and
+// emits an explicit per-round transmitter schedule in three phases:
+//
+//   Phase 1 — parity pipeline. For the small BFS layers (size < n/d), nodes
+//   at even distance from the source transmit in odd rounds and nodes at odd
+//   distance in even rounds. Alternation means a frontier layer never jams
+//   itself against its parent layer; Lemma 3 (layers are near-trees) makes
+//   collisions within a layer rare, so each round pushes the message one
+//   layer deeper, informing all but O(1) nodes per layer.
+//
+//   Phase 2 — 1/d-selective rounds. Starting from the first layer of size
+//   >= n/d, the builder transmits Θ(n/d) chosen nodes once, then for c·ln d
+//   rounds a fresh (disjoint from previous rounds) 1/d-fraction of the
+//   informed nodes. Lemma 4 (first statement): each such round gives a
+//   constant fraction of the uninformed nodes exactly one transmitting
+//   neighbor, so the uninformed count decays geometrically to O(n/d²).
+//
+//   Phase 3 — independent-cover mop-up. The survivors get private
+//   informants: an independent matching from the informed side (Lemma 4,
+//   second statement / Proposition 2) clears all of them in one round per
+//   sweep; stragglers in the small layers are swept the same way, walking
+//   back down the layer structure.
+//
+// The builder simulates its own schedule while constructing it (it owns the
+// topology, so this is legitimate centralized preprocessing) and guarantees
+// the emitted schedule is *legal*: every scheduled transmitter is informed
+// by the time it transmits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "sim/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+struct CentralizedOptions {
+  /// Multiplier c for the c·ln d selective rounds of phase 2. Phase 2 also
+  /// exits early once the uninformed count drops below n/d².
+  double selective_rounds_factor = 4.0;
+
+  /// Per-node sampling rate in phase 2 is `selective_rate_scale / d`.
+  double selective_rate_scale = 1.0;
+
+  /// Phase-2 rounds that inform nobody are retried with a fresh sample up to
+  /// this many times before being emitted anyway (the schedule must make
+  /// progress deterministically once built, so retries happen at build time).
+  int resample_attempts = 8;
+
+  /// Hard cap on mop-up sweeps before the builder reports failure.
+  int max_mopup_sweeps = 64;
+
+  /// Mop-up strategy: prefer a one-shot private-neighbor matching; fall back
+  /// to sampled independent covers when the matching is incomplete.
+  bool use_private_matching = true;
+
+  /// Ablation (E9): replace phase 1's parity pipeline with "every informed
+  /// small-layer node transmits every round" (self-jamming flood).
+  bool ablate_parity = false;
+
+  /// Ablation (E9): allow phase-2 sets to reuse nodes from earlier rounds
+  /// instead of the paper's disjointness requirement.
+  bool ablate_disjoint_sets = false;
+};
+
+/// Build report: where the phases ended up, for E9's ablation table and for
+/// asserting the O(ln n/ln d + ln d) shape phase by phase.
+struct CentralizedBuildReport {
+  bool completed = false;
+  std::uint32_t total_rounds = 0;
+  std::uint32_t phase1_rounds = 0;  ///< parity pipeline
+  std::uint32_t phase2_rounds = 0;  ///< 1/d-selective
+  std::uint32_t phase3_rounds = 0;  ///< independent-cover mop-up
+  std::uint32_t pivot_layer = 0;    ///< first layer of size >= n/d
+  std::uint32_t eccentricity = 0;   ///< of the source
+  std::size_t uninformed_after_phase1 = 0;
+  std::size_t uninformed_after_phase2 = 0;
+  std::uint64_t total_transmissions = 0;
+};
+
+struct CentralizedResult {
+  Schedule schedule;
+  CentralizedBuildReport report;
+};
+
+/// Builds a Theorem-5 schedule for broadcasting from `source` on `g`.
+/// `expected_degree` is the model parameter d = p·n the phase lengths are
+/// calibrated against (pass the realized mean degree when p is unknown).
+/// Requires a connected graph; reports completed=false if the round caps were
+/// exhausted (out-of-regime parameters).
+CentralizedResult build_centralized_schedule(const Graph& g, NodeId source,
+                                             double expected_degree, Rng& rng,
+                                             const CentralizedOptions& options = {});
+
+/// The paper's target round count for given (n, d): ln n / ln d + ln d.
+/// Used by fits and sanity bounds, not by the builder.
+double centralized_target_rounds(double n, double d) noexcept;
+
+}  // namespace radio

@@ -1,0 +1,80 @@
+#include "core/layer_probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+std::vector<LayerProbeRow> probe_layers(const Graph& g,
+                                        const LayerDecomposition& layers,
+                                        double expected_degree) {
+  RADIO_EXPECTS(expected_degree > 0.0);
+  std::vector<LayerProbeRow> rows;
+  if (layers.layers.size() <= 1) return rows;
+  const double n = static_cast<double>(g.num_nodes());
+
+  for (std::size_t i = 1; i < layers.layers.size(); ++i) {
+    const auto& layer = layers.layers[i];
+    LayerProbeRow row;
+    row.layer = static_cast<std::uint32_t>(i);
+    row.size = layer.size();
+    row.predicted_size =
+        std::min(n, std::pow(expected_degree, static_cast<double>(i)));
+
+    std::uint64_t parent_links = 0;
+    std::unordered_map<NodeId, std::size_t> children_of_parent;
+    for (NodeId v : layer) {
+      std::uint32_t parents = 0;
+      for (NodeId w : g.neighbors(v)) {
+        const std::uint32_t dw = layers.distance[w];
+        if (dw == static_cast<std::uint32_t>(i)) {
+          // Intra-layer edge; count each once via the id ordering.
+          if (v < w) ++row.intra_layer_edges;
+        } else if (dw + 1 == static_cast<std::uint32_t>(i)) {
+          ++parents;
+        }
+      }
+      parent_links += parents;
+      if (parents >= 2) ++row.multi_parent_nodes;
+      // Sibling groups: children grouped under the BFS tree parent.
+      ++children_of_parent[layers.parent[v]];
+    }
+    row.multi_parent_fraction =
+        layer.empty() ? 0.0
+                      : static_cast<double>(row.multi_parent_nodes) /
+                            static_cast<double>(layer.size());
+    row.mean_parent_degree =
+        layer.empty() ? 0.0
+                      : static_cast<double>(parent_links) /
+                            static_cast<double>(layer.size());
+    for (const auto& [parent, group] : children_of_parent) {
+      (void)parent;
+      row.largest_sibling_group = std::max(row.largest_sibling_group, group);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+LayerProbeSummary summarize_probe(const std::vector<LayerProbeRow>& rows,
+                                  std::size_t layers_to_check) {
+  LayerProbeSummary summary;
+  const std::size_t limit = std::min(layers_to_check, rows.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    const LayerProbeRow& row = rows[i];
+    summary.worst_multi_parent_fraction =
+        std::max(summary.worst_multi_parent_fraction, row.multi_parent_fraction);
+    summary.total_intra_layer_edges += row.intra_layer_edges;
+    if (row.predicted_size > 0.0) {
+      summary.worst_size_ratio =
+          std::max(summary.worst_size_ratio,
+                   static_cast<double>(row.size) / row.predicted_size);
+    }
+  }
+  return summary;
+}
+
+}  // namespace radio

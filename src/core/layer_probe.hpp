@@ -1,0 +1,47 @@
+// Lemma 3 measurements: how tree-like are the BFS layers of G(n,p)?
+//
+// The lemma drives both algorithms: the parity pipeline of Theorem 5 works
+// because (a) layer sizes grow geometrically (|T_i| ≈ d^i), (b) layers
+// contain almost no internal edges, and (c) almost every node of T_{i+1} has
+// exactly ONE neighbor in T_i — a unique parent, so the parent layer's
+// simultaneous transmission is collision-free at that node. The probe
+// measures exactly those three quantities per layer, plus the sibling-group
+// structure (nodes sharing a parent form groups of size O(pn)).
+#pragma once
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace radio {
+
+struct LayerProbeRow {
+  std::uint32_t layer = 0;            ///< i
+  std::size_t size = 0;               ///< |T_i(u)|
+  double predicted_size = 0.0;        ///< d^i (capped at n)
+  std::uint64_t intra_layer_edges = 0;///< edges with both ends in T_i
+  std::size_t multi_parent_nodes = 0; ///< nodes with >= 2 neighbors in T_{i-1}
+  double multi_parent_fraction = 0.0; ///< multi_parent_nodes / |T_i|
+  std::size_t largest_sibling_group = 0;  ///< max #children of one parent
+  double mean_parent_degree = 0.0;    ///< avg #neighbors in T_{i-1}
+};
+
+/// One row per layer i >= 1 (layer 0 is the source and has no parents).
+/// `expected_degree` is d = p·n used for the predicted sizes.
+std::vector<LayerProbeRow> probe_layers(const Graph& g,
+                                        const LayerDecomposition& layers,
+                                        double expected_degree);
+
+/// Aggregate over the first `layers_to_check` layers (the lemma's i <= D - c
+/// regime): the worst multi-parent fraction and the total intra-layer edge
+/// count, which the lemma bounds by O(1/d²) and O(|T_i|/d³) respectively.
+struct LayerProbeSummary {
+  double worst_multi_parent_fraction = 0.0;
+  std::uint64_t total_intra_layer_edges = 0;
+  double worst_size_ratio = 0.0;  ///< max over i of |T_i| / d^i (capped layers excluded)
+};
+LayerProbeSummary summarize_probe(const std::vector<LayerProbeRow>& rows,
+                                  std::size_t layers_to_check);
+
+}  // namespace radio

@@ -1,0 +1,170 @@
+#include "core/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "sim/runner.hpp"
+#include "sim/session.hpp"
+#include "util/assert.hpp"
+
+namespace radio {
+
+ObliviousSequenceProtocol::ObliviousSequenceProtocol(
+    std::vector<double> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  RADIO_EXPECTS(!probabilities_.empty());
+  for (double q : probabilities_) RADIO_EXPECTS(q >= 0.0 && q <= 1.0);
+}
+
+void ObliviousSequenceProtocol::select_transmitters(
+    std::uint32_t round, const BroadcastSession& session, Rng& rng,
+    std::vector<NodeId>& out) {
+  const double q = round <= probabilities_.size()
+                       ? probabilities_[round - 1]
+                       : probabilities_.back();
+  for (NodeId v = 0; v < session.graph().num_nodes(); ++v)
+    if (session.informed(v) && (q >= 1.0 || rng.bernoulli(q))) out.push_back(v);
+}
+
+namespace {
+
+/// The Theorem-7 probability schedule as an explicit sequence, so the search
+/// space provably contains the paper's own algorithm.
+std::vector<double> theorem7_sequence(const ProtocolContext& ctx,
+                                      std::uint32_t budget) {
+  const double n = static_cast<double>(ctx.n);
+  const double d = std::max(2.0, ctx.expected_degree());
+  const auto switch_round = static_cast<std::uint32_t>(
+      std::max(1.0, std::round(std::log(n) / std::log(d))));
+  std::vector<double> probs;
+  probs.reserve(budget);
+  for (std::uint32_t t = 1; t <= std::max(budget, switch_round + 1); ++t) {
+    if (t < switch_round)
+      probs.push_back(1.0);
+    else if (t == switch_round)
+      probs.push_back(std::min(
+          1.0, n / std::pow(d, static_cast<double>(switch_round))));
+    else
+      probs.push_back(std::min(1.0, 1.0 / d));
+  }
+  return probs;
+}
+
+std::vector<double> random_sequence(NodeId n, std::uint32_t budget, Rng& rng) {
+  // Log-uniform per-round probability in [1/n, 1]: covers aggressive
+  // flooding, sparse lotteries and everything between.
+  std::vector<double> probs;
+  probs.reserve(budget);
+  const double lo = std::log(1.0 / static_cast<double>(n));
+  for (std::uint32_t t = 0; t < budget; ++t)
+    probs.push_back(std::exp(lo * rng.uniform()));
+  return probs;
+}
+
+}  // namespace
+
+ObliviousSearchOutcome search_oblivious_schedules(
+    const Graph& g, NodeId source, const ProtocolContext& ctx,
+    const ObliviousSearchParams& params, Rng& rng) {
+  RADIO_EXPECTS(params.round_budget > 0);
+  RADIO_EXPECTS(params.num_candidates >= 1);
+  RADIO_EXPECTS(params.trials_per_candidate >= 1);
+
+  std::vector<std::vector<double>> candidates;
+  candidates.reserve(static_cast<std::size_t>(params.num_candidates));
+  candidates.push_back(theorem7_sequence(ctx, params.round_budget));
+  if (params.num_candidates >= 2) {
+    const double d = std::max(2.0, ctx.expected_degree());
+    candidates.emplace_back(params.round_budget, std::min(1.0, 1.0 / d));
+  }
+  while (candidates.size() < static_cast<std::size_t>(params.num_candidates))
+    candidates.push_back(random_sequence(ctx.n, params.round_budget, rng));
+
+  ObliviousSearchOutcome outcome;
+  outcome.best_rounds = params.round_budget + 1;
+  int completed = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    std::uint32_t worst_trial = 0;
+    bool all_completed = true;
+    for (int trial = 0; trial < params.trials_per_candidate; ++trial) {
+      ObliviousSequenceProtocol protocol(candidates[c]);
+      Rng trial_rng = Rng::for_stream(rng(), static_cast<std::uint64_t>(trial));
+      const BroadcastRun run = broadcast_with(protocol, ctx, g, source,
+                                              trial_rng, params.round_budget);
+      if (!run.completed) {
+        all_completed = false;
+        break;
+      }
+      worst_trial = std::max(worst_trial, run.rounds);
+    }
+    if (all_completed) {
+      ++completed;
+      if (worst_trial < outcome.best_rounds) {
+        outcome.best_rounds = worst_trial;
+        outcome.best_candidate = static_cast<int>(c);
+      }
+    }
+  }
+  outcome.completed_fraction =
+      static_cast<double>(completed) / static_cast<double>(candidates.size());
+  return outcome;
+}
+
+SmallSetAdversaryOutcome probe_small_set_schedules(
+    const Graph& g, NodeId source, const SmallSetAdversaryParams& params,
+    Rng& rng) {
+  RADIO_EXPECTS(params.round_budget > 0);
+  RADIO_EXPECTS(params.num_schedules >= 1);
+  RADIO_EXPECTS(params.max_set_size >= 1);
+
+  SmallSetAdversaryOutcome outcome;
+  outcome.best_rounds = params.round_budget + 1;
+  int completed = 0;
+  std::uint64_t uninformed_sum = 0;
+  std::vector<NodeId> informed_pool;
+  std::vector<NodeId> transmitters;
+
+  for (int s = 0; s < params.num_schedules; ++s) {
+    BroadcastSession session(g, source);
+    std::uint32_t rounds = 0;
+    for (std::uint32_t t = 1; t <= params.round_budget; ++t) {
+      if (session.complete()) break;
+      informed_pool.clear();
+      // informed_nodes() allocates; reuse the pool buffer instead.
+      for (NodeId v = 0; v < g.num_nodes(); ++v)
+        if (session.informed(v)) informed_pool.push_back(v);
+      const NodeId size = static_cast<NodeId>(
+          1 + rng.uniform_below(std::min<std::uint64_t>(
+                  params.max_set_size, informed_pool.size())));
+      transmitters.clear();
+      // Uniform distinct picks via partial shuffle of the pool tail.
+      for (NodeId k = 0; k < size; ++k) {
+        const std::size_t j =
+            k + static_cast<std::size_t>(
+                    rng.uniform_below(informed_pool.size() - k));
+        std::swap(informed_pool[k], informed_pool[j]);
+        transmitters.push_back(informed_pool[k]);
+      }
+      session.step(transmitters);
+      ++rounds;
+    }
+    if (session.complete()) {
+      ++completed;
+      outcome.best_rounds = std::min(outcome.best_rounds, rounds);
+    }
+    uninformed_sum += g.num_nodes() - session.informed_count();
+  }
+  outcome.completed_fraction = static_cast<double>(completed) /
+                               static_cast<double>(params.num_schedules);
+  outcome.mean_uninformed_left = static_cast<double>(uninformed_sum) /
+                                 static_cast<double>(params.num_schedules);
+  return outcome;
+}
+
+std::uint32_t broadcast_diameter_bound(const Graph& g, NodeId source) {
+  const LayerDecomposition layers = bfs_layers(g, source);
+  return layers.eccentricity();
+}
+
+}  // namespace radio

@@ -1,0 +1,13 @@
+#include "core/scheduled_protocol.hpp"
+
+namespace radio {
+
+void ScheduledProtocol::select_transmitters(std::uint32_t round,
+                                            const BroadcastSession&, Rng&,
+                                            std::vector<NodeId>& out) {
+  if (round == 0 || round > schedule_.rounds.size()) return;  // silence past the end
+  const auto& transmitters = schedule_.rounds[round - 1];
+  out.insert(out.end(), transmitters.begin(), transmitters.end());
+}
+
+}  // namespace radio

@@ -1,0 +1,35 @@
+// Adapter: replays a precomputed Schedule through the Protocol interface so
+// centralized schedules line up against distributed protocols in the E4
+// shoot-out and share the run_protocol() driver.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/protocol.hpp"
+#include "sim/schedule.hpp"
+
+namespace radio {
+
+class ScheduledProtocol final : public Protocol {
+ public:
+  explicit ScheduledProtocol(Schedule schedule,
+                             std::string name = "centralized[thm5]")
+      : schedule_(std::move(schedule)), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  bool is_distributed() const override { return false; }
+
+  void reset(const ProtocolContext&) override {}
+
+  void select_transmitters(std::uint32_t round, const BroadcastSession&,
+                           Rng&, std::vector<NodeId>& out) override;
+
+  const Schedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  Schedule schedule_;
+  std::string name_;
+};
+
+}  // namespace radio

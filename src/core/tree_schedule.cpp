@@ -1,0 +1,120 @@
+#include "core/tree_schedule.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace radio {
+namespace {
+
+/// One interference group: its transmitters and the children they claim.
+struct Group {
+  std::vector<NodeId> parents;
+  Bitset claimed;      ///< children that must receive in this round
+  Bitset transmitters; ///< parent membership, for adjacency checks
+};
+
+}  // namespace
+
+TreeScheduleResult build_tree_schedule(const Graph& g, NodeId source) {
+  RADIO_EXPECTS(g.num_nodes() > 0);
+  RADIO_EXPECTS(source < g.num_nodes());
+
+  const LayerDecomposition layers = bfs_layers(g, source);
+  TreeScheduleResult result;
+  result.report.layers = layers.eccentricity();
+
+  // children_of[p] = BFS-tree children of p in the next layer; rebuilt per
+  // layer handover below from the layer's parent pointers.
+  for (std::size_t depth = 1; depth < layers.layers.size(); ++depth) {
+    // Parents of layer `depth`, in ascending id order (determinism).
+    std::vector<NodeId> parents;
+    std::vector<std::vector<NodeId>> children;
+    {
+      std::vector<NodeId> parent_index(g.num_nodes(), kInvalidNode);
+      for (NodeId child : layers.layers[depth]) {
+        const NodeId p = layers.parent[child];
+        if (parent_index[p] == kInvalidNode) {
+          parent_index[p] = static_cast<NodeId>(parents.size());
+          parents.push_back(p);
+          children.emplace_back();
+        }
+        children[parent_index[p]].push_back(child);
+      }
+      // Sort by parent id, keeping children aligned.
+      std::vector<std::size_t> order(parents.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return parents[a] < parents[b];
+      });
+      std::vector<NodeId> sorted_parents;
+      std::vector<std::vector<NodeId>> sorted_children;
+      for (std::size_t i : order) {
+        sorted_parents.push_back(parents[i]);
+        sorted_children.push_back(std::move(children[i]));
+      }
+      parents = std::move(sorted_parents);
+      children = std::move(sorted_children);
+    }
+
+    // Greedy first-fit grouping: parent p joins the first group where
+    //  (a) none of p's neighbors is a child claimed by that group, and
+    //  (b) no transmitter of that group is adjacent to a child of p.
+    std::vector<Group> groups;
+    for (std::size_t pi = 0; pi < parents.size(); ++pi) {
+      const NodeId p = parents[pi];
+      Group* home = nullptr;
+      for (Group& group : groups) {
+        bool conflict = false;
+        for (NodeId w : g.neighbors(p)) {
+          if (group.claimed.test(w)) {
+            conflict = true;  // p would jam a claimed child
+            break;
+          }
+        }
+        if (!conflict) {
+          for (NodeId child : children[pi]) {
+            for (NodeId w : g.neighbors(child)) {
+              if (group.transmitters.test(w)) {
+                conflict = true;  // an existing transmitter would jam child
+                break;
+              }
+            }
+            if (conflict) break;
+          }
+        }
+        if (!conflict) {
+          home = &group;
+          break;
+        }
+      }
+      if (home == nullptr) {
+        groups.emplace_back();
+        groups.back().claimed = Bitset(g.num_nodes());
+        groups.back().transmitters = Bitset(g.num_nodes());
+        home = &groups.back();
+      }
+      home->parents.push_back(p);
+      home->transmitters.set(p);
+      for (NodeId child : children[pi]) home->claimed.set(child);
+    }
+
+    result.report.max_groups_per_layer =
+        std::max(result.report.max_groups_per_layer,
+                 static_cast<std::uint32_t>(groups.size()));
+    for (Group& group : groups) {
+      result.schedule.rounds.push_back(std::move(group.parents));
+      result.schedule.phase_of.push_back("tree:layer" + std::to_string(depth));
+    }
+  }
+
+  result.report.completed = layers.reachable_count() == g.num_nodes();
+  result.report.total_rounds =
+      static_cast<std::uint32_t>(result.schedule.length());
+  result.report.total_transmissions = result.schedule.total_transmissions();
+  return result;
+}
+
+}  // namespace radio

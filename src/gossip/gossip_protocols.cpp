@@ -1,0 +1,75 @@
+#include "gossip/gossip_protocols.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+void UniformGossipAllToAll::reset(const ProtocolContext& ctx) {
+  if (configured_q_ > 0.0) {
+    q_ = std::min(1.0, configured_q_);
+  } else {
+    const double d = ctx.expected_degree();
+    RADIO_EXPECTS(d > 0.0);
+    q_ = std::min(1.0, 1.0 / d);
+  }
+}
+
+void UniformGossipAllToAll::select_transmitters(std::uint32_t,
+                                                const GossipSession& session,
+                                                Rng& rng,
+                                                std::vector<NodeId>& out) {
+  for (NodeId v = 0; v < session.graph().num_nodes(); ++v)
+    if (rng.bernoulli(q_)) out.push_back(v);
+}
+
+void RoundRobinGossip::select_transmitters(std::uint32_t round,
+                                           const GossipSession& session,
+                                           Rng&, std::vector<NodeId>& out) {
+  RADIO_EXPECTS(n_ == session.graph().num_nodes());
+  out.push_back(static_cast<NodeId>((round - 1) % n_));
+}
+
+void DecayGossip::reset(const ProtocolContext& ctx) {
+  RADIO_EXPECTS(ctx.n >= 2);
+  phase_length_ = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::log2(static_cast<double>(ctx.n)))));
+  active_.assign(ctx.n, 0);
+}
+
+void DecayGossip::select_transmitters(std::uint32_t round,
+                                      const GossipSession& session, Rng& rng,
+                                      std::vector<NodeId>& out) {
+  RADIO_EXPECTS(active_.size() == session.graph().num_nodes());
+  const bool phase_start = (round - 1) % phase_length_ == 0;
+  for (NodeId v = 0; v < session.graph().num_nodes(); ++v) {
+    if (phase_start) active_[v] = 1;  // in gossip everyone has rumors
+    if (!active_[v]) continue;
+    out.push_back(v);
+    if (!rng.bernoulli(0.5)) active_[v] = 0;
+  }
+}
+
+GossipRun run_gossip(GossipProtocol& protocol, const ProtocolContext& ctx,
+                     GossipSession& session, Rng& rng,
+                     std::uint32_t max_rounds) {
+  RADIO_EXPECTS(max_rounds > 0);
+  protocol.reset(ctx);
+  GossipRun run;
+  std::vector<NodeId> transmitters;
+  for (std::uint32_t round = 1; round <= max_rounds; ++round) {
+    if (session.complete()) break;
+    transmitters.clear();
+    protocol.select_transmitters(round, session, rng, transmitters);
+    const GossipRoundStats& stats = session.step(transmitters);
+    ++run.rounds;
+    run.transmissions += stats.transmitters;
+  }
+  run.completed = session.complete();
+  run.coverage = session.coverage();
+  return run;
+}
+
+}  // namespace radio

@@ -1,0 +1,76 @@
+#include "gossip/gossip_session.hpp"
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+GossipSession::GossipSession(const Graph& g)
+    : graph_(&g),
+      counts_(g.num_nodes(), 1),
+      total_(g.num_nodes()),
+      hits_(g.num_nodes(), 0),
+      unique_sender_(g.num_nodes(), kInvalidNode),
+      transmitting_(g.num_nodes()) {
+  knowledge_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    knowledge_.emplace_back(g.num_nodes());
+    knowledge_.back().set(v);  // own rumor
+  }
+}
+
+double GossipSession::coverage() const noexcept {
+  const auto n = static_cast<double>(graph_->num_nodes());
+  if (n == 0.0) return 1.0;
+  return static_cast<double>(total_) / (n * n);
+}
+
+const GossipRoundStats& GossipSession::step(
+    std::span<const NodeId> transmitters) {
+  GossipRoundStats stats;
+  stats.round = static_cast<std::uint32_t>(history_.size() + 1);
+  stats.transmitters = static_cast<std::uint32_t>(transmitters.size());
+
+  for (NodeId t : transmitters) {
+    RADIO_EXPECTS(t < graph_->num_nodes());
+    RADIO_EXPECTS(!transmitting_.test(t));
+    transmitting_.set(t);
+  }
+  for (NodeId t : transmitters) {
+    for (NodeId w : graph_->neighbors(t)) {
+      if (hits_[w] == 0) {
+        hits_[w] = 1;
+        unique_sender_[w] = t;
+        touched_.push_back(w);
+      } else if (hits_[w] == 1) {
+        hits_[w] = 2;
+      }
+    }
+  }
+
+  for (NodeId w : touched_) {
+    if (transmitting_.test(w)) continue;
+    if (hits_[w] >= 2) {
+      ++stats.collisions;
+      continue;
+    }
+    ++stats.receivers;
+    const NodeId sender = unique_sender_[w];
+    const std::size_t gained = knowledge_[w].set_union(knowledge_[sender]);
+    counts_[w] += gained;
+    total_ += gained;
+    stats.rumors_moved += gained;
+  }
+
+  for (NodeId w : touched_) {
+    hits_[w] = 0;
+    unique_sender_[w] = kInvalidNode;
+  }
+  touched_.clear();
+  for (NodeId t : transmitters) transmitting_.reset(t);
+
+  stats.knowledge_total = total_;
+  history_.push_back(stats);
+  return history_.back();
+}
+
+}  // namespace radio

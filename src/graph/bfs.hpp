@@ -1,0 +1,42 @@
+// Breadth-first layer decomposition T_i(u) — the structure at the heart of
+// the paper's analysis (Lemma 3) and of both broadcasting algorithms.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace radio {
+
+/// T_i(u) for all i: per-node distance, a BFS parent (any one of the
+/// neighbors one layer closer to the source), and the layers as explicit
+/// node lists. Nodes unreachable from the source get distance kUnreachable
+/// and do not appear in any layer.
+struct LayerDecomposition {
+  NodeId source = 0;
+  std::vector<std::uint32_t> distance;  ///< per node; kUnreachable if not reached
+  std::vector<NodeId> parent;           ///< per node; kInvalidNode for source/unreached
+  std::vector<std::vector<NodeId>> layers;  ///< layers[i] == T_i(u); layers[0] == {u}
+
+  /// Eccentricity of the source within its component (== layers.size() - 1).
+  std::uint32_t eccentricity() const noexcept {
+    return static_cast<std::uint32_t>(layers.size()) - 1;
+  }
+
+  /// Number of reachable nodes, including the source.
+  std::size_t reachable_count() const noexcept;
+
+  /// Index of the first layer with at least `threshold` nodes, or
+  /// layers.size() if none. Theorem 5's phase switch looks for the first
+  /// layer of size Ω(n/d).
+  std::size_t first_layer_of_size(std::size_t threshold) const noexcept;
+};
+
+/// Standard BFS from `source`.
+LayerDecomposition bfs_layers(const Graph& g, NodeId source);
+
+/// Distances only (cheaper when layers aren't needed).
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+}  // namespace radio

@@ -1,0 +1,57 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+std::size_t Components::largest() const noexcept {
+  RADIO_EXPECTS(!sizes.empty());
+  return static_cast<std::size_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (out.label[start] != kInvalidNode) continue;
+    const auto comp = static_cast<NodeId>(out.sizes.size());
+    std::size_t size = 0;
+    stack.push_back(start);
+    out.label[start] = comp;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (NodeId w : g.neighbors(v)) {
+        if (out.label[w] == kInvalidNode) {
+          out.label[w] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+    out.sizes.push_back(size);
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  return connected_components(g).count() == 1;
+}
+
+Graph::InducedSubgraph largest_component_subgraph(const Graph& g) {
+  RADIO_EXPECTS(g.num_nodes() > 0);
+  const Components comps = connected_components(g);
+  const std::size_t target = comps.largest();
+  std::vector<NodeId> nodes;
+  nodes.reserve(comps.sizes[target]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (comps.label[v] == target) nodes.push_back(v);
+  return g.induced(nodes);
+}
+
+}  // namespace radio

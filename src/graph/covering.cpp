@@ -1,0 +1,331 @@
+#include "graph/covering.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+Bitset make_membership(NodeId num_nodes, std::span<const NodeId> nodes) {
+  Bitset b(num_nodes);
+  for (NodeId v : nodes) {
+    RADIO_EXPECTS(v < num_nodes);
+    b.set(v);
+  }
+  return b;
+}
+
+std::vector<std::uint32_t> neighbor_counts(const Graph& g,
+                                           std::span<const NodeId> targets,
+                                           const Bitset& set) {
+  std::vector<std::uint32_t> counts(targets.size(), 0);
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    for (NodeId w : g.neighbors(targets[i]))
+      if (set.test(w)) ++counts[i];
+  return counts;
+}
+
+bool is_independent_matching(const Graph& g,
+                             std::span<const MatchPair> pairs) {
+  // Endpoint distinctness.
+  Bitset seen(g.num_nodes());
+  for (const auto& [u, v] : pairs) {
+    if (u >= g.num_nodes() || v >= g.num_nodes() || u == v) return false;
+    if (!seen.set_if_clear(u)) return false;
+    if (!seen.set_if_clear(v)) return false;
+  }
+  // Matched pairs must be actual edges, and no cross edges may exist. With a
+  // membership map pair-side lookup this is O(sum deg) instead of O(|F|^2).
+  std::vector<NodeId> mate(g.num_nodes(), kInvalidNode);
+  for (const auto& [u, v] : pairs) {
+    if (!g.has_edge(u, v)) return false;
+    mate[u] = v;
+    mate[v] = u;
+  }
+  Bitset left(g.num_nodes()), right(g.num_nodes());
+  for (const auto& [u, v] : pairs) {
+    left.set(u);
+    right.set(v);
+  }
+  for (const auto& [u, v] : pairs) {
+    for (NodeId w : g.neighbors(u))
+      if (right.test(w) && w != v) return false;
+    for (NodeId w : g.neighbors(v))
+      if (left.test(w) && w != u) return false;
+  }
+  return true;
+}
+
+bool is_covering(const Graph& g, std::span<const NodeId> cover,
+                 std::span<const NodeId> y) {
+  const Bitset member = make_membership(g.num_nodes(), cover);
+  for (NodeId target : y) {
+    bool covered = false;
+    for (NodeId w : g.neighbors(target))
+      if (member.test(w)) {
+        covered = true;
+        break;
+      }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool is_minimal_covering(const Graph& g, std::span<const NodeId> cover,
+                         std::span<const NodeId> y) {
+  if (!is_covering(g, cover, y)) return false;
+  // x is redundant iff every y it covers has another cover neighbor; x is
+  // essential iff it covers some y uniquely.
+  const Bitset member = make_membership(g.num_nodes(), cover);
+  const std::vector<std::uint32_t> counts = neighbor_counts(g, y, member);
+  Bitset essential(g.num_nodes());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (counts[i] == 1) {
+      for (NodeId w : g.neighbors(y[i]))
+        if (member.test(w)) {
+          essential.set(w);
+          break;
+        }
+    }
+  }
+  for (NodeId x : cover)
+    if (!essential.test(x)) return false;
+  return true;
+}
+
+bool is_independent_covering(const Graph& g, std::span<const NodeId> cover,
+                             std::span<const NodeId> y) {
+  const Bitset member = make_membership(g.num_nodes(), cover);
+  for (NodeId target : y) {
+    std::uint32_t hits = 0;
+    for (NodeId w : g.neighbors(target)) {
+      if (member.test(w) && ++hits > 1) return false;
+    }
+    if (hits != 1) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> greedy_minimal_cover(const Graph& g,
+                                         std::span<const NodeId> x,
+                                         std::span<const NodeId> y) {
+  const Bitset x_member = make_membership(g.num_nodes(), x);
+  Bitset uncovered = make_membership(g.num_nodes(), y);
+  std::size_t remaining = y.size();
+
+  // Gain of each candidate = number of currently uncovered targets adjacent
+  // to it. Classic greedy set cover with lazy gain refresh.
+  std::vector<std::pair<std::uint32_t, NodeId>> heap;  // (stale gain, x)
+  heap.reserve(x.size());
+  for (NodeId cand : x) {
+    std::uint32_t gain = 0;
+    for (NodeId w : g.neighbors(cand))
+      if (uncovered.test(w)) ++gain;
+    if (gain > 0) heap.emplace_back(gain, cand);
+  }
+  std::make_heap(heap.begin(), heap.end());
+
+  std::vector<NodeId> cover;
+  while (remaining > 0) {
+    NodeId chosen = kInvalidNode;
+    while (!heap.empty()) {
+      auto [stale_gain, cand] = heap.front();
+      std::pop_heap(heap.begin(), heap.end());
+      heap.pop_back();
+      std::uint32_t gain = 0;
+      for (NodeId w : g.neighbors(cand))
+        if (uncovered.test(w)) ++gain;
+      if (gain == 0) continue;
+      if (!heap.empty() && gain < heap.front().first) {
+        // Stale entry: refresh and reinsert.
+        heap.emplace_back(gain, cand);
+        std::push_heap(heap.begin(), heap.end());
+        continue;
+      }
+      chosen = cand;
+      break;
+    }
+    if (chosen == kInvalidNode) return {};  // some target has no X neighbor
+    cover.push_back(chosen);
+    for (NodeId w : g.neighbors(chosen)) {
+      if (uncovered.test(w)) {
+        uncovered.reset(w);
+        --remaining;
+      }
+    }
+  }
+
+  // Minimality prune: drop members whose targets are all covered elsewhere.
+  // Iterate until fixpoint (removals can make other members essential but
+  // never redundant, so one reverse pass suffices; we keep the loop honest).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const Bitset member = make_membership(g.num_nodes(), cover);
+    const std::vector<std::uint32_t> counts = neighbor_counts(g, y, member);
+    Bitset essential(g.num_nodes());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (counts[i] == 1) {
+        for (NodeId w : g.neighbors(y[i]))
+          if (member.test(w)) {
+            essential.set(w);
+            break;
+          }
+      }
+    }
+    for (std::size_t i = 0; i < cover.size(); /* advanced below */) {
+      if (!essential.test(cover[i])) {
+        cover.erase(cover.begin() + static_cast<std::ptrdiff_t>(i));
+        changed = true;
+        break;  // membership changed; recompute counts
+      }
+      ++i;
+    }
+  }
+  (void)x_member;
+  return cover;
+}
+
+std::vector<MatchPair> matching_from_minimal_cover(
+    const Graph& g, std::span<const NodeId> cover, std::span<const NodeId> y) {
+  RADIO_EXPECTS(is_minimal_covering(g, cover, y));
+  const Bitset member = make_membership(g.num_nodes(), cover);
+  const Bitset y_member = make_membership(g.num_nodes(), y);
+  // Proposition 2: each x in a minimal cover has a target it covers uniquely;
+  // pairing every x with such a private target yields an independent
+  // matching (a cross edge would contradict uniqueness).
+  std::vector<MatchPair> pairs;
+  pairs.reserve(cover.size());
+  Bitset used_y(g.num_nodes());
+  for (NodeId x : cover) {
+    NodeId partner = kInvalidNode;
+    for (NodeId t : g.neighbors(x)) {
+      // t must be a target whose ONLY cover neighbor is x, and not already
+      // claimed by another cover member (uniqueness makes claims disjoint,
+      // but we defend against duplicate y entries).
+      if (!y_member.test(t) || used_y.test(t)) continue;
+      std::uint32_t hits = 0;
+      for (NodeId w : g.neighbors(t))
+        if (member.test(w)) ++hits;
+      if (hits == 1) {
+        partner = t;
+        break;
+      }
+    }
+    RADIO_ENSURES(partner != kInvalidNode);  // guaranteed by minimality
+    used_y.set(partner);
+    pairs.emplace_back(x, partner);
+  }
+  return pairs;
+}
+
+SampledCover sample_independent_cover(const Graph& g,
+                                      std::span<const NodeId> x,
+                                      std::span<const NodeId> y, double rate,
+                                      Rng& rng) {
+  RADIO_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  SampledCover out;
+  Bitset sample_member(g.num_nodes());
+  for (NodeId cand : x) {
+    if (rng.bernoulli(rate)) {
+      out.sample.push_back(cand);
+      sample_member.set(cand);
+    }
+  }
+  for (NodeId target : y) {
+    std::uint32_t hits = 0;
+    for (NodeId w : g.neighbors(target)) {
+      if (sample_member.test(w) && ++hits > 1) break;
+    }
+    if (hits == 1) out.covered.push_back(target);
+  }
+  return out;
+}
+
+FullMatching private_neighbor_matching(const Graph& g,
+                                       std::span<const NodeId> x,
+                                       std::span<const NodeId> y) {
+  const Bitset x_member = make_membership(g.num_nodes(), x);
+  const Bitset y_member = make_membership(g.num_nodes(), y);
+  // x is a private neighbor candidate iff it has exactly one neighbor in Y.
+  // Each y then claims one unused private candidate.
+  FullMatching out;
+  Bitset used_x(g.num_nodes());
+  out.pairs.reserve(y.size());
+  for (NodeId target : y) {
+    NodeId informant = kInvalidNode;
+    for (NodeId w : g.neighbors(target)) {
+      if (!x_member.test(w) || used_x.test(w)) continue;
+      std::uint32_t y_neighbors = 0;
+      for (NodeId z : g.neighbors(w))
+        if (y_member.test(z) && ++y_neighbors > 1) break;
+      if (y_neighbors == 1) {
+        informant = w;
+        break;
+      }
+    }
+    if (informant == kInvalidNode) {
+      out.complete = false;
+      return out;
+    }
+    used_x.set(informant);
+    out.pairs.emplace_back(informant, target);
+  }
+  out.complete = true;
+  return out;
+}
+
+std::vector<NodeId> greedy_independent_cover(const Graph& g,
+                                             std::span<const NodeId> x,
+                                             std::span<const NodeId> y) {
+  // Exact-cover flavoured greedy: maintain per-target hit counts; process
+  // targets by ascending candidate-degree (most constrained first); adding a
+  // candidate must not give any already-exactly-covered target a second hit.
+  const Bitset x_member = make_membership(g.num_nodes(), x);
+  const Bitset y_member = make_membership(g.num_nodes(), y);
+  std::vector<std::uint32_t> hits(g.num_nodes(), 0);  // per target
+
+  std::vector<NodeId> order(y.begin(), y.end());
+  std::vector<std::uint32_t> cand_degree(g.num_nodes(), 0);
+  for (NodeId target : y)
+    for (NodeId w : g.neighbors(target))
+      if (x_member.test(w)) ++cand_degree[target];
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return cand_degree[a] != cand_degree[b] ? cand_degree[a] < cand_degree[b]
+                                            : a < b;
+  });
+
+  std::vector<NodeId> cover;
+  Bitset chosen(g.num_nodes());
+  for (NodeId target : order) {
+    if (hits[target] == 1) continue;  // already independently covered
+    if (hits[target] > 1) return {};  // overshoot: greedy failed
+    NodeId pick = kInvalidNode;
+    for (NodeId w : g.neighbors(target)) {
+      if (!x_member.test(w) || chosen.test(w)) continue;
+      // w must not touch any target already sitting at exactly one hit.
+      bool conflict = false;
+      for (NodeId z : g.neighbors(w)) {
+        if (y_member.test(z) && hits[z] >= 1) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) {
+        pick = w;
+        break;
+      }
+    }
+    if (pick == kInvalidNode) return {};
+    chosen.set(pick);
+    cover.push_back(pick);
+    for (NodeId z : g.neighbors(pick))
+      if (y_member.test(z)) ++hits[z];
+  }
+  // Success iff every target ended at exactly one hit.
+  for (NodeId target : y)
+    if (hits[target] != 1) return {};
+  return cover;
+}
+
+}  // namespace radio

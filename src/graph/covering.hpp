@@ -1,0 +1,115 @@
+// Coverings and matchings between two node sets — Definition 1, Proposition 2
+// and Lemma 4 of the paper, made executable.
+//
+// All functions view the bipartite graph induced by a host graph G between
+// two disjoint node sets X and Y (edges of G with one endpoint in each).
+// Radio semantics motivate every notion here:
+//   * a COVERING X' ⊆ X of Y: every y ∈ Y hears at least one transmitter —
+//     necessary but not sufficient (collisions!);
+//   * an INDEPENDENT COVERING: every y ∈ Y has EXACTLY one neighbor in X' —
+//     one simultaneous transmission round informs all of Y;
+//   * an INDEPENDENT MATCHING F: pairs (x, y) with no cross edges — each x
+//     is a private informant of its y;
+//   * Proposition 2: a MINIMAL covering always yields an independent matching
+//     of the same size.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+/// A matched pair: x ∈ X informs y ∈ Y.
+using MatchPair = std::pair<NodeId, NodeId>;
+
+// ---------------------------------------------------------------------------
+// Verifiers (used by tests and by the E6 experiment as ground truth).
+// ---------------------------------------------------------------------------
+
+/// Definition 1: F is an independent matching iff for any two pairs
+/// (u,v), (u',v') ∈ F neither (u,v') nor (u',v) is an edge. Also checks that
+/// all endpoints are distinct.
+bool is_independent_matching(const Graph& g, std::span<const MatchPair> pairs);
+
+/// X' covers Y: every y ∈ Y has at least one neighbor in X'.
+bool is_covering(const Graph& g, std::span<const NodeId> cover,
+                 std::span<const NodeId> y);
+
+/// X' is a minimal covering of Y: it covers Y and no proper subset does.
+bool is_minimal_covering(const Graph& g, std::span<const NodeId> cover,
+                         std::span<const NodeId> y);
+
+/// X' is an independent covering of Y: every y ∈ Y has exactly one neighbor
+/// in X'.
+bool is_independent_covering(const Graph& g, std::span<const NodeId> cover,
+                             std::span<const NodeId> y);
+
+// ---------------------------------------------------------------------------
+// Constructions.
+// ---------------------------------------------------------------------------
+
+/// Greedy covering of Y from candidates X, pruned to minimality: repeatedly
+/// picks the candidate covering the most uncovered targets, then removes
+/// redundant members. Returns an empty vector iff some y ∈ Y has no neighbor
+/// in X at all.
+std::vector<NodeId> greedy_minimal_cover(const Graph& g,
+                                         std::span<const NodeId> x,
+                                         std::span<const NodeId> y);
+
+/// Proposition 2 construction: from a minimal covering, extract an
+/// independent matching of size |cover| by pairing each cover member with a
+/// target it covers uniquely. Requires `cover` to be a minimal covering of y.
+std::vector<MatchPair> matching_from_minimal_cover(
+    const Graph& g, std::span<const NodeId> cover, std::span<const NodeId> y);
+
+/// Lemma 4 (first statement) construction: sample S ⊆ X keeping each member
+/// with probability `rate`; the targets with exactly one neighbor in S are
+/// independently covered. Returns both the sample and the covered targets.
+struct SampledCover {
+  std::vector<NodeId> sample;   ///< S ⊆ X
+  std::vector<NodeId> covered;  ///< y ∈ Y with exactly one neighbor in S
+};
+SampledCover sample_independent_cover(const Graph& g, std::span<const NodeId> x,
+                                      std::span<const NodeId> y, double rate,
+                                      Rng& rng);
+
+/// Lemma 4 (second statement) construction: an independent matching that
+/// matches EVERY y ∈ Y, built by giving each y a private neighbor — an
+/// x ∈ X adjacent to y and to no other member of Y, never reused. Succeeds
+/// w.h.p. when |X|/|Y| = Ω(d²); returns nullopt-like empty result (matched
+/// flag false) if some y has no private neighbor available.
+struct FullMatching {
+  bool complete = false;
+  std::vector<MatchPair> pairs;  ///< one per y when complete
+};
+FullMatching private_neighbor_matching(const Graph& g,
+                                       std::span<const NodeId> x,
+                                       std::span<const NodeId> y);
+
+/// Deterministic independent cover of ALL of Y from candidates X (used by
+/// Theorem 5's mop-up phase): greedily selects transmitters so every y ends
+/// with exactly one selected neighbor. Greedy can fail where the randomized
+/// argument would not; callers fall back to sampling. Returns empty on
+/// failure.
+std::vector<NodeId> greedy_independent_cover(const Graph& g,
+                                             std::span<const NodeId> x,
+                                             std::span<const NodeId> y);
+
+// ---------------------------------------------------------------------------
+// Helpers shared with the simulator.
+// ---------------------------------------------------------------------------
+
+/// Membership bitset over g's nodes for a node list.
+Bitset make_membership(NodeId num_nodes, std::span<const NodeId> nodes);
+
+/// For every y in `targets`, counts neighbors inside `set` (given as a
+/// membership bitset); returns counts aligned with `targets`.
+std::vector<std::uint32_t> neighbor_counts(const Graph& g,
+                                           std::span<const NodeId> targets,
+                                           const Bitset& set);
+
+}  // namespace radio

@@ -1,0 +1,32 @@
+#include "graph/degree.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+DegreeStats::Concentration DegreeStats::concentration(
+    double expected_degree) const {
+  RADIO_EXPECTS(expected_degree > 0.0);
+  return Concentration{static_cast<double>(min_degree) / expected_degree,
+                       static_cast<double>(max_degree) / expected_degree};
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  if (g.num_nodes() == 0) return s;
+  s.min_degree = g.degree(0);
+  s.max_degree = g.degree(0);
+  EdgeCount total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId deg = g.degree(v);
+    s.min_degree = std::min(s.min_degree, deg);
+    s.max_degree = std::max(s.max_degree, deg);
+    total += deg;
+  }
+  s.mean_degree = static_cast<double>(total) / static_cast<double>(g.num_nodes());
+  return s;
+}
+
+}  // namespace radio

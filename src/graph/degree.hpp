@@ -1,0 +1,26 @@
+// Degree statistics — the paper's regime assumes
+// alpha * pn <= d_min <= d_max <= beta * pn w.h.p.; the harness measures the
+// realized alpha/beta on every instance it reports on.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace radio {
+
+struct DegreeStats {
+  NodeId min_degree = 0;
+  NodeId max_degree = 0;
+  double mean_degree = 0.0;
+
+  /// Realized concentration around an expected degree d: returns
+  /// (d_min / d, d_max / d). Requires d > 0.
+  struct Concentration {
+    double alpha = 0.0;
+    double beta = 0.0;
+  };
+  Concentration concentration(double expected_degree) const;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace radio

@@ -1,0 +1,65 @@
+#include "graph/diameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "util/assert.hpp"
+
+namespace radio {
+namespace {
+
+/// Eccentricity of `v` plus the farthest node reached; kUnreachable
+/// eccentricity if some node was not reached.
+struct Sweep {
+  std::uint32_t eccentricity = 0;
+  NodeId farthest = 0;
+};
+
+Sweep sweep_from(const Graph& g, NodeId v) {
+  const std::vector<std::uint32_t> dist = bfs_distances(g, v);
+  Sweep s{0, v};
+  for (NodeId w = 0; w < g.num_nodes(); ++w) {
+    if (dist[w] == kUnreachable) return Sweep{kUnreachable, w};
+    if (dist[w] > s.eccentricity) {
+      s.eccentricity = dist[w];
+      s.farthest = w;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint32_t exact_diameter(const Graph& g) {
+  if (g.num_nodes() <= 1) return 0;
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Sweep s = sweep_from(g, v);
+    if (s.eccentricity == kUnreachable) return kUnreachable;
+    best = std::max(best, s.eccentricity);
+  }
+  return best;
+}
+
+std::uint32_t double_sweep_diameter(const Graph& g, Rng& rng, int sweeps) {
+  RADIO_EXPECTS(sweeps > 0);
+  if (g.num_nodes() <= 1) return 0;
+  std::uint32_t best = 0;
+  for (int i = 0; i < sweeps; ++i) {
+    const auto start = static_cast<NodeId>(rng.uniform_below(g.num_nodes()));
+    const Sweep first = sweep_from(g, start);
+    if (first.eccentricity == kUnreachable) return kUnreachable;
+    const Sweep second = sweep_from(g, first.farthest);
+    if (second.eccentricity == kUnreachable) return kUnreachable;
+    best = std::max({best, first.eccentricity, second.eccentricity});
+  }
+  return best;
+}
+
+double expected_diameter(double n, double d) noexcept {
+  if (n < 2.0 || d <= 1.0) return 0.0;
+  return std::log(n) / std::log(d);
+}
+
+}  // namespace radio

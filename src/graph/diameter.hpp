@@ -1,0 +1,30 @@
+// Diameter computation. Theorem 6's first case lower-bounds broadcasting by
+// the diameter, and E1/E2 report the realized diameter next to round counts.
+//
+// Exact diameter is an all-pairs BFS (O(n·m)) — fine up to a few thousand
+// nodes. For large instances the double-sweep lower bound is within the
+// exact value on random graphs in practice and costs two BFS runs; we also
+// expose an iterated-sweep refinement.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+/// Exact diameter of the (assumed connected) graph via n BFS runs.
+/// Returns kUnreachable if the graph is disconnected.
+std::uint32_t exact_diameter(const Graph& g);
+
+/// Lower bound from `sweeps` rounds of double-sweep: BFS from a random node,
+/// then BFS from the farthest node found, keeping the best eccentricity.
+/// Returns kUnreachable if a sweep discovers the graph is disconnected.
+std::uint32_t double_sweep_diameter(const Graph& g, Rng& rng, int sweeps = 4);
+
+/// The paper's diameter scale: ln n / ln d (each BFS layer grows by a factor
+/// of d). Requires n >= 2, d > 1.
+double expected_diameter(double n, double d) noexcept;
+
+}  // namespace radio

@@ -1,0 +1,96 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+Graph Graph::from_edges(NodeId n, std::span<const Edge> edges) {
+  // Normalize to (min, max) orientation, reject self-loops, dedup.
+  std::vector<Edge> normalized;
+  normalized.reserve(edges.size());
+  for (const Edge& e : edges) {
+    RADIO_EXPECTS(e.u < n && e.v < n);
+    RADIO_EXPECTS(e.u != e.v);
+    normalized.push_back(e.u < e.v ? e : Edge{e.v, e.u});
+  }
+  std::sort(normalized.begin(), normalized.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+
+  std::vector<EdgeCount> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : normalized) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> adj(static_cast<std::size_t>(offsets[n]));
+  std::vector<EdgeCount> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : normalized) {
+    adj[cursor[e.u]++] = e.v;
+    adj[cursor[e.v]++] = e.u;
+  }
+  // Counting placement from a sorted edge list leaves each node's neighbor
+  // run sorted except for the interleaving of the two directions; sort each
+  // run to guarantee the invariant.
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  for (NodeId v = 0; v < n; ++v) {
+    auto begin = g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adj_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+  }
+  return g;
+}
+
+Graph Graph::from_csr(std::vector<EdgeCount> offsets, std::vector<NodeId> adj) {
+  RADIO_EXPECTS(!offsets.empty());
+  RADIO_EXPECTS(offsets.front() == 0);
+  RADIO_EXPECTS(offsets.back() == adj.size());
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
+  if (u >= num_nodes() || v >= num_nodes()) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u)
+    for (NodeId v : neighbors(u))
+      if (u < v) edges.push_back(Edge{u, v});
+  return edges;
+}
+
+Graph::InducedSubgraph Graph::induced(std::span<const NodeId> nodes) const {
+  std::vector<NodeId> new_id(num_nodes(), kInvalidNode);
+  std::vector<NodeId> original(nodes.begin(), nodes.end());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    RADIO_EXPECTS(original[i] < num_nodes());
+    RADIO_EXPECTS(new_id[original[i]] == kInvalidNode);  // no duplicates
+    new_id[original[i]] = static_cast<NodeId>(i);
+  }
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < original.size(); ++i)
+    for (NodeId w : neighbors(original[i]))
+      if (new_id[w] != kInvalidNode && original[i] < w)
+        edges.push_back(Edge{static_cast<NodeId>(i), new_id[w]});
+  InducedSubgraph result;
+  result.graph = from_edges(static_cast<NodeId>(original.size()), edges);
+  result.original_id = std::move(original);
+  return result;
+}
+
+}  // namespace radio

@@ -1,0 +1,74 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// All simulator and algorithm code reads neighborhoods through spans over the
+// CSR arrays; the structure is built once per trial and then shared read-only
+// across any parallel analysis, which is what makes trial-level OpenMP
+// parallelism safe. Adjacency lists are sorted, enabling O(log deg) edge
+// queries and cache-friendly sequential sweeps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace radio {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a simple undirected graph on `n` nodes from an edge list.
+  /// Self-loops are rejected; duplicate edges (in either orientation) are
+  /// collapsed. Endpoints must be < n.
+  static Graph from_edges(NodeId n, std::span<const Edge> edges);
+
+  /// Braced-list convenience (std::span has no initializer_list ctor in
+  /// C++20): Graph::from_edges(3, {{0,1},{1,2}}).
+  static Graph from_edges(NodeId n, std::initializer_list<Edge> edges) {
+    return from_edges(n, std::span<const Edge>(edges.begin(), edges.size()));
+  }
+
+  /// Builds from pre-sorted, deduplicated per-node adjacency (internal fast
+  /// path for generators that already produce both directions).
+  static Graph from_csr(std::vector<EdgeCount> offsets, std::vector<NodeId> adj);
+
+  NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  EdgeCount num_edges() const noexcept { return adj_.size() / 2; }
+
+  /// Sorted neighbors of `v`.
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {adj_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  NodeId degree(NodeId v) const noexcept {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// O(log deg) membership test.
+  bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  /// Recovers the undirected edge list (u < v), sorted lexicographically.
+  std::vector<Edge> edge_list() const;
+
+  /// Induced subgraph on `nodes` (need not be sorted; duplicates rejected).
+  /// Returns the subgraph plus the mapping new-id -> old-id.
+  struct InducedSubgraph;
+  InducedSubgraph induced(std::span<const NodeId> nodes) const;
+
+ private:
+  std::vector<EdgeCount> offsets_;  ///< size n+1
+  std::vector<NodeId> adj_;         ///< size 2m, sorted within each node
+};
+
+struct Graph::InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> original_id;  ///< new id -> original id
+};
+
+}  // namespace radio

@@ -1,0 +1,80 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace radio {
+namespace {
+
+/// Strips comments/blanks and returns the whitespace token stream.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) tokens.push_back(word);
+  }
+  return tokens;
+}
+
+std::optional<std::uint64_t> parse_uint(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char ch : token) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    if (value > 0xFFFFFFFFULL * 0xFFFFFFFFULL) return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string graph_to_text(const Graph& g) {
+  std::ostringstream out;
+  out << "# radio-random-graphs edge list\n";
+  out << g.num_nodes() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edge_list()) out << e.u << " " << e.v << "\n";
+  return out.str();
+}
+
+std::optional<Graph> graph_from_text(const std::string& text) {
+  const std::vector<std::string> tokens = tokenize(text);
+  if (tokens.size() < 2) return std::nullopt;
+  const auto n = parse_uint(tokens[0]);
+  const auto m = parse_uint(tokens[1]);
+  if (!n || !m || *n > 0xFFFFFFFEULL) return std::nullopt;
+  if (tokens.size() != 2 + 2 * *m) return std::nullopt;
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(*m));
+  for (std::uint64_t i = 0; i < *m; ++i) {
+    const auto u = parse_uint(tokens[2 + 2 * i]);
+    const auto v = parse_uint(tokens[3 + 2 * i]);
+    if (!u || !v || *u >= *n || *v >= *n || *u == *v) return std::nullopt;
+    edges.push_back(Edge{static_cast<NodeId>(*u), static_cast<NodeId>(*v)});
+  }
+  return Graph::from_edges(static_cast<NodeId>(*n), edges);
+}
+
+bool save_graph(const Graph& g, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << graph_to_text(g);
+  return static_cast<bool>(file);
+}
+
+std::optional<Graph> load_graph(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return graph_from_text(buffer.str());
+}
+
+}  // namespace radio

@@ -1,0 +1,32 @@
+// Graph (de)serialization: plain edge-list text, the lingua franca of graph
+// tooling, so instances can be saved for regression cases and exchanged with
+// external analyzers.
+//
+// Format (whitespace separated, '#' comments and blank lines ignored):
+//
+//   # optional comments
+//   <n> <m>
+//   <u> <v>      (m lines; 0 <= u, v < n; u != v)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace radio {
+
+/// Serializes to edge-list text (edges in canonical u < v, sorted order).
+std::string graph_to_text(const Graph& g);
+
+/// Parses edge-list text; nullopt on syntax errors, endpoint range errors,
+/// self-loops, or an edge-count mismatch. Duplicate edges are collapsed (the
+/// graph is simple by construction).
+std::optional<Graph> graph_from_text(const std::string& text);
+
+/// File helpers; false / nullopt on I/O or parse failure.
+bool save_graph(const Graph& g, const std::string& path);
+std::optional<Graph> load_graph(const std::string& path);
+
+}  // namespace radio

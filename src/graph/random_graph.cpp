@@ -1,0 +1,126 @@
+#include "graph/random_graph.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/components.hpp"
+#include "util/assert.hpp"
+
+namespace radio {
+namespace {
+
+/// Batagelj–Brandes skip sampling: emits each pair (u < v) independently with
+/// probability p in O(n + m) time by drawing geometric skips over the
+/// linearized lower triangle (v outer, u inner).
+std::vector<Edge> sample_sparse_edges(NodeId n, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  if (p <= 0.0 || n < 2) return edges;
+  edges.reserve(static_cast<std::size_t>(
+      0.5 * p * static_cast<double>(n) * static_cast<double>(n - 1) * 1.1));
+  std::uint64_t v = 1;
+  std::int64_t w = -1;
+  const auto total_pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  std::uint64_t consumed = 0;
+  while (v < n) {
+    const std::uint64_t skip = rng.geometric_skips(p);
+    if (skip >= total_pairs - consumed) break;  // skipped past the last pair
+    consumed += skip + 1;
+    w += static_cast<std::int64_t>(skip) + 1;
+    while (w >= static_cast<std::int64_t>(v)) {
+      w -= static_cast<std::int64_t>(v);
+      ++v;
+      if (v >= n) return edges;
+    }
+    edges.push_back(Edge{static_cast<NodeId>(w), static_cast<NodeId>(v)});
+  }
+  return edges;
+}
+
+/// Dense-regime sampler: draws the complement at rate 1-p, then emits every
+/// pair not in the complement. O(n^2) — only used when p > 1/2, where the
+/// output itself is Θ(n^2).
+Graph sample_dense_gnp(NodeId n, double p, Rng& rng) {
+  const std::vector<Edge> non_edges = sample_sparse_edges(n, 1.0 - p, rng);
+  std::unordered_set<std::uint64_t> excluded;
+  excluded.reserve(non_edges.size() * 2);
+  for (const Edge& e : non_edges)
+    excluded.insert((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  std::vector<Edge> edges;
+  const double expected =
+      0.5 * p * static_cast<double>(n) * static_cast<double>(n - 1);
+  edges.reserve(static_cast<std::size_t>(expected * 1.05) + 16);
+  for (NodeId u = 0; u + 1 < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (!excluded.count((static_cast<std::uint64_t>(u) << 32) | v))
+        edges.push_back(Edge{u, v});
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+Graph generate_gnp(const GnpParams& params, Rng& rng) {
+  RADIO_EXPECTS(params.p >= 0.0 && params.p <= 1.0);
+  if (params.p > 0.5) return sample_dense_gnp(params.n, params.p, rng);
+  const std::vector<Edge> edges = sample_sparse_edges(params.n, params.p, rng);
+  return Graph::from_edges(params.n, edges);
+}
+
+Graph generate_gnm(NodeId n, EdgeCount m, Rng& rng) {
+  const auto total_pairs =
+      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
+  RADIO_EXPECTS(m <= total_pairs);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  // Rejection sampling of unordered pairs; each accepted pair is uniform over
+  // all pairs, and the set keeps them distinct. Expected iterations stay
+  // near m while m is at most half of all pairs; above that we take the
+  // complement instead.
+  if (m <= total_pairs / 2 || total_pairs < 64) {
+    while (edges.size() < m) {
+      const auto a = static_cast<NodeId>(rng.uniform_below(n));
+      const auto b = static_cast<NodeId>(rng.uniform_below(n));
+      if (a == b) continue;
+      const NodeId u = a < b ? a : b;
+      const NodeId v = a < b ? b : a;
+      const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+      if (chosen.insert(key).second) edges.push_back(Edge{u, v});
+    }
+  } else {
+    const EdgeCount holes = total_pairs - m;
+    while (chosen.size() < holes) {
+      const auto a = static_cast<NodeId>(rng.uniform_below(n));
+      const auto b = static_cast<NodeId>(rng.uniform_below(n));
+      if (a == b) continue;
+      const NodeId u = a < b ? a : b;
+      const NodeId v = a < b ? b : a;
+      chosen.insert((static_cast<std::uint64_t>(u) << 32) | v);
+    }
+    for (NodeId u = 0; u + 1 < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (!chosen.count((static_cast<std::uint64_t>(u) << 32) | v))
+          edges.push_back(Edge{u, v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+std::optional<Graph> generate_connected_gnp(const GnpParams& params, Rng& rng,
+                                            int max_attempts) {
+  RADIO_EXPECTS(max_attempts > 0);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g = generate_gnp(params, rng);
+    if (g.num_nodes() <= 1 || is_connected(g)) return g;
+  }
+  return std::nullopt;
+}
+
+double connectivity_probability(NodeId n, double delta) noexcept {
+  if (n < 2) return 1.0;
+  const double p = delta * std::log(static_cast<double>(n)) /
+                   static_cast<double>(n);
+  return p > 1.0 ? 1.0 : p;
+}
+
+}  // namespace radio

@@ -1,0 +1,53 @@
+// Random graph generators: the Gilbert model G(n,p) the paper works in, and
+// the Erdős–Rényi model G(n,m) it also covers.
+//
+// G(n,p) uses Batagelj–Brandes geometric skipping over the linearized upper
+// triangle, so generation costs O(n + m) regardless of how small p is. For
+// p > 1/2 we sample the complement's edges and invert, keeping cost O(n + m̄)
+// in the dense regime (§3.1 of the paper, p = 1 − f(n)).
+//
+// Connectivity: the paper's regime p ≥ δ ln n / n makes G(n,p) connected
+// w.h.p., and all theorems are "w.h.p." statements. Experiments that need a
+// connected instance either resample (`generate_connected_gnp`) or restrict
+// to the giant component; both are reported explicitly by the harness.
+#pragma once
+
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+struct GnpParams {
+  NodeId n = 0;
+  double p = 0.0;
+
+  /// Expected average degree d = p * n (the paper's central parameter).
+  double expected_degree() const noexcept { return p * static_cast<double>(n); }
+
+  /// Convenience: parameters giving expected average degree `d`.
+  static GnpParams with_degree(NodeId n, double d) noexcept {
+    return GnpParams{n, d / static_cast<double>(n)};
+  }
+};
+
+/// Samples G(n,p). Requires 0 <= p <= 1.
+Graph generate_gnp(const GnpParams& params, Rng& rng);
+
+/// Samples G(n,m): exactly m distinct edges uniformly at random among all
+/// simple graphs with m edges. Requires m <= n(n-1)/2.
+Graph generate_gnm(NodeId n, EdgeCount m, Rng& rng);
+
+/// Resamples G(n,p) until connected, up to `max_attempts` draws.
+/// Returns nullopt if every attempt was disconnected (caller decides whether
+/// that falsifies a w.h.p. claim or the parameters are out of regime).
+std::optional<Graph> generate_connected_gnp(const GnpParams& params, Rng& rng,
+                                            int max_attempts = 50);
+
+/// The connectivity threshold degree: d = ln n is the sharp threshold; the
+/// paper uses p >= delta * ln n / n with delta chosen so connectivity holds
+/// w.h.p. This helper returns delta * ln(n) / n.
+double connectivity_probability(NodeId n, double delta = 2.0) noexcept;
+
+}  // namespace radio

@@ -1,0 +1,97 @@
+#include "graph/statistics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+std::uint64_t triangle_count(const Graph& g) {
+  // Forward counting: for each edge (u, v) with u < v, count common
+  // neighbors w > v. Each triangle u < v < w is found exactly once at its
+  // lowest edge. Sorted adjacency makes the intersection a linear merge.
+  std::uint64_t triangles = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (NodeId v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+double global_clustering_coefficient(const Graph& g) {
+  std::uint64_t wedges = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const std::uint64_t deg = g.degree(v);
+    wedges += deg * (deg - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) /
+         static_cast<double>(wedges);
+}
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  if (g.num_nodes() == 0) return {};
+  NodeId max_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    max_degree = std::max(max_degree, g.degree(v));
+  std::vector<std::size_t> histogram(static_cast<std::size_t>(max_degree) + 1,
+                                     0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++histogram[g.degree(v)];
+  return histogram;
+}
+
+std::uint32_t common_neighbors(const Graph& g, NodeId u, NodeId v) {
+  RADIO_EXPECTS(u < g.num_nodes() && v < g.num_nodes());
+  RADIO_EXPECTS(u != v);
+  const auto nu = g.neighbors(u);
+  const auto nv = g.neighbors(v);
+  std::uint32_t common = 0;
+  auto iu = nu.begin();
+  auto iv = nv.begin();
+  while (iu != nu.end() && iv != nv.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      ++common;
+      ++iu;
+      ++iv;
+    }
+  }
+  return common;
+}
+
+double mean_common_neighbors_sampled(const Graph& g, int samples,
+                                     std::uint64_t seed) {
+  RADIO_EXPECTS(samples > 0);
+  RADIO_EXPECTS(g.num_nodes() >= 2);
+  Rng rng(seed);
+  std::uint64_t total = 0;
+  for (int i = 0; i < samples; ++i) {
+    const auto u = static_cast<NodeId>(rng.uniform_below(g.num_nodes()));
+    auto v = static_cast<NodeId>(rng.uniform_below(g.num_nodes() - 1));
+    if (v >= u) ++v;
+    total += common_neighbors(g, u, v);
+  }
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+}  // namespace radio

@@ -1,0 +1,36 @@
+// Structural statistics of graph instances beyond degrees — the quantities
+// Lemma 3's proof manipulates (edges inside neighborhoods, common
+// neighbors) plus standard sanity measures for generated instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radio {
+
+/// Number of triangles (3-cycles), each counted once. On G(n,p) the
+/// expectation is C(n,3)·p³ ≈ d³/6 — a direct check that the generators
+/// produce the independence structure the paper's probability space assumes.
+std::uint64_t triangle_count(const Graph& g);
+
+/// Global clustering coefficient: 3·triangles / #wedges (paths of length 2).
+/// 0 for graphs without wedges. On G(n,p) this concentrates around p.
+double global_clustering_coefficient(const Graph& g);
+
+/// Histogram of degrees: entry k = number of nodes with degree k
+/// (size = max degree + 1; empty for the empty graph).
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Number of common neighbors of u and v (u != v). Lemma 3's "joint
+/// neighbor" quantity; O(deg u + deg v) via the sorted adjacency merge.
+std::uint32_t common_neighbors(const Graph& g, NodeId u, NodeId v);
+
+/// Mean number of common neighbors over `samples` random pairs. On G(n,p)
+/// the expectation is (n-2)p² ≈ d²/n — o(1) in the paper's sparse regime,
+/// which is why BFS layers are near-trees.
+double mean_common_neighbors_sampled(const Graph& g, int samples,
+                                     std::uint64_t seed);
+
+}  // namespace radio

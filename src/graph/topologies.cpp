@@ -1,0 +1,131 @@
+#include "graph/topologies.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+Graph make_hypercube(unsigned dimensions) {
+  RADIO_EXPECTS(dimensions >= 1 && dimensions <= 30);
+  const NodeId n = NodeId{1} << dimensions;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * dimensions / 2);
+  for (NodeId v = 0; v < n; ++v)
+    for (unsigned bit = 0; bit < dimensions; ++bit) {
+      const NodeId w = v ^ (NodeId{1} << bit);
+      if (v < w) edges.push_back(Edge{v, w});
+    }
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_torus(NodeId rows, NodeId cols) {
+  RADIO_EXPECTS(rows >= 2 && cols >= 2);
+  const NodeId n = rows * cols;
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      edges.push_back(Edge{id(r, c), id(r, (c + 1) % cols)});
+      edges.push_back(Edge{id(r, c), id((r + 1) % rows, c)});
+    }
+  }
+  // from_edges dedups, which handles the degenerate 2-wide wrap (where the
+  // wrap edge coincides with the direct edge).
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_ring(NodeId n) {
+  RADIO_EXPECTS(n >= 3);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId v = 0; v < n; ++v)
+    edges.push_back(Edge{v, static_cast<NodeId>((v + 1) % n)});
+  return Graph::from_edges(n, edges);
+}
+
+Graph make_complete_tree(unsigned arity, unsigned depth) {
+  RADIO_EXPECTS(arity >= 2);
+  // n = sum_{i=0}^{depth} arity^i, checked against overflow as we go.
+  std::uint64_t n = 1, level = 1;
+  for (unsigned i = 0; i < depth; ++i) {
+    level *= arity;
+    n += level;
+    RADIO_EXPECTS(n < (1ULL << 31));
+  }
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  // BFS numbering: children of v are v*arity + 1 … v*arity + arity.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (unsigned c = 1; c <= arity; ++c) {
+      const std::uint64_t child = v * arity + c;
+      if (child >= n) break;
+      edges.push_back(
+          Edge{static_cast<NodeId>(v), static_cast<NodeId>(child)});
+    }
+  }
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+Graph make_random_regular(NodeId n, NodeId k, Rng& rng, int max_attempts) {
+  RADIO_EXPECTS(n >= 2);
+  RADIO_EXPECTS(k >= 1 && k < n);
+  RADIO_EXPECTS((static_cast<std::uint64_t>(n) * k) % 2 == 0);
+  const std::size_t stub_total = static_cast<std::size_t>(n) * k;
+
+  // Steger–Wormald incremental pairing: draw random stub pairs, skipping
+  // self-loops and duplicate edges, restarting the whole construction on a
+  // dead end. Unlike whole-matching rejection (acceptance ~e^{-(k²-1)/4},
+  // hopeless beyond k≈4), this succeeds in O(nk) expected time for
+  // moderate k and is asymptotically uniform.
+  std::vector<NodeId> pool(stub_total);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<Edge> edges;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    pool.clear();
+    for (NodeId v = 0; v < n; ++v)
+      for (NodeId c = 0; c < k; ++c) pool.push_back(v);
+    used.clear();
+    edges.clear();
+    edges.reserve(stub_total / 2);
+    bool stuck = false;
+    while (pool.size() >= 2 && !stuck) {
+      // With few stubs left a valid pair may not exist; bound the tries.
+      const int tries = 64;
+      bool paired = false;
+      for (int t = 0; t < tries; ++t) {
+        const std::size_t i =
+            static_cast<std::size_t>(rng.uniform_below(pool.size()));
+        std::size_t j =
+            static_cast<std::size_t>(rng.uniform_below(pool.size() - 1));
+        if (j >= i) ++j;
+        const NodeId u = pool[i];
+        const NodeId v = pool[j];
+        if (u == v) continue;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+            std::max(u, v);
+        if (used.count(key)) continue;
+        used.insert(key);
+        edges.push_back(Edge{std::min(u, v), std::max(u, v)});
+        // Remove both stubs (erase the higher index first).
+        const std::size_t hi = std::max(i, j);
+        const std::size_t lo = std::min(i, j);
+        pool[hi] = pool.back();
+        pool.pop_back();
+        pool[lo] = pool.back();
+        pool.pop_back();
+        paired = true;
+        break;
+      }
+      if (!paired) stuck = true;
+    }
+    if (!stuck && pool.empty()) return Graph::from_edges(n, edges);
+  }
+  RADIO_EXPECTS(false && "random regular pairing failed; k too large?");
+  return Graph{};
+}
+
+}  // namespace radio

@@ -1,0 +1,37 @@
+// Structured topologies from the related work: Feige et al. analyze rumor
+// spreading on bounded-degree graphs and hypercubes; Diks et al. give radio
+// broadcasting algorithms for particular topologies. These generators let
+// E15 contrast the random-graph results with the structured world where
+// the diameter term dominates.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+/// d-dimensional hypercube: n = 2^dimensions nodes, ids adjacent iff their
+/// labels differ in exactly one bit. Degree = diameter = dimensions.
+/// Requires 1 <= dimensions <= 30.
+Graph make_hypercube(unsigned dimensions);
+
+/// rows x cols torus (wrap-around grid): 4-regular when both sides >= 3.
+/// Requires rows, cols >= 2 (degenerate sides collapse duplicate edges).
+Graph make_torus(NodeId rows, NodeId cols);
+
+/// Cycle on n nodes. Requires n >= 3.
+Graph make_ring(NodeId n);
+
+/// Complete `arity`-ary tree of the given depth (root depth 0):
+/// n = (arity^(depth+1) - 1) / (arity - 1). Requires arity >= 2, and a
+/// resulting n below 2^31.
+Graph make_complete_tree(unsigned arity, unsigned depth);
+
+/// Random k-regular graph via the configuration (pairing) model, resampled
+/// until simple. Requires 1 <= k < n, n*k even, and k small enough for
+/// rejection to succeed (k <= ~10 is safe; the acceptance probability is
+/// ~exp(-(k²-1)/4), independent of n). Aborts after `max_attempts` failures.
+Graph make_random_regular(NodeId n, NodeId k, Rng& rng,
+                          int max_attempts = 2000);
+
+}  // namespace radio

@@ -1,0 +1,28 @@
+// Shared vocabulary types for the graph substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace radio {
+
+/// Node identifier: nodes of an n-node graph are 0 … n-1.
+using NodeId = std::uint32_t;
+
+/// Edge counts can exceed 2^32 for dense graphs.
+using EdgeCount = std::uint64_t;
+
+/// An undirected edge; builders accept either endpoint order.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Sentinel for "no node" (used by BFS parents, matchings, ...).
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Sentinel distance for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable = 0xFFFFFFFFu;
+
+}  // namespace radio

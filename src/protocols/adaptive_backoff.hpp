@@ -1,0 +1,82 @@
+// Adaptive backoff — a MODEL EXTENSION exploring the paper's open question
+// of how much the n/p knowledge in Theorem 7 really buys.
+//
+// Extension to the model: receivers can distinguish a collision from
+// silence (collision detection), which the paper's model forbids. Each node
+// keeps a personal transmit probability q_v:
+//   * informed nodes transmit with probability q_v;
+//   * a node that LISTENED and heard a collision halves q_v (the channel is
+//     congested locally);
+//   * a node that listened and heard silence doubles q_v (capped at 1 — the
+//     channel is idle locally);
+//   * hearing a clean message leaves q_v unchanged.
+// This is binary-exponential backoff driven by carrier feedback: it needs
+// NO knowledge of p (only a floor derived from n) and converges to roughly
+// one transmitter per neighborhood — the 1/d regime Theorem 7 hardcodes.
+// E13 measures the price of learning d instead of knowing it.
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace radio {
+
+struct AdaptiveBackoffOptions {
+  double initial_probability = 1.0;  ///< clamped to max_probability at reset
+  double collision_factor = 0.5;     ///< multiply q on local collision
+  /// Multiply q on local silence. The stationary point balances
+  /// P(collision)·ln(collision_factor) + P(silence)·ln(silence_factor) = 0;
+  /// with 0.5 / 1.15 that lands at ~0.6 expected transmitting neighbors per
+  /// listener — near the throughput optimum λe^-λ. A symmetric 0.5 / 2.0
+  /// pair equilibrates at λ ≈ 2.7 and drowns in collisions (measured in
+  /// E13's ablation history).
+  double silence_factor = 1.15;
+  /// Hard cap below 1: a node that always transmits never listens, so it
+  /// never receives channel feedback and can jam forever. Capping keeps
+  /// every node listening a constant fraction of rounds, which is what
+  /// makes the backoff loop converge.
+  double max_probability = 0.8;
+
+  /// Decay-style gate over the learned rate. Backoff alone has a blind
+  /// spot: a transmitter only observes ITS OWN reception, so a loud node in
+  /// a quiet neighborhood never backs off, and a listener wedged between
+  /// several such nodes is jammed indefinitely (receivers cannot signal
+  /// transmitters in this model). The gate multiplies everyone's rate by
+  /// 2^-j, j cycling over 0 … ceil(log2 n)-1 — all nodes know the clock, so
+  /// no knowledge of p is needed — guaranteeing each congested pocket a
+  /// round sparse enough to deliver. Backoff updates are applied only on
+  /// ungated (j = 0) rounds so quiet gated rounds don't pollute the
+  /// congestion estimate.
+  bool use_decay_gate = true;
+};
+
+class AdaptiveBackoffProtocol final : public Protocol {
+ public:
+  explicit AdaptiveBackoffProtocol(AdaptiveBackoffOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "adaptive-backoff[CD]"; }
+  bool is_distributed() const override { return true; }
+  bool wants_observations() const override { return true; }
+
+  void reset(const ProtocolContext& ctx) override;
+  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+                           Rng& rng, std::vector<NodeId>& out) override;
+  void observe(std::uint32_t round,
+               std::span<const ChannelObservation> observations) override;
+
+  /// Current per-node probability (tests inspect convergence).
+  double probability_of(NodeId v) const { return q_.at(v); }
+
+  /// Gate factor 2^-j applied in `round` (1 when the gate is disabled).
+  double gate(std::uint32_t round) const noexcept;
+
+ private:
+  AdaptiveBackoffOptions options_;
+  std::vector<double> q_;
+  double floor_ = 0.0;
+  std::uint32_t gate_cycle_ = 1;
+};
+
+}  // namespace radio

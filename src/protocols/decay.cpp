@@ -1,0 +1,30 @@
+#include "protocols/decay.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+void DecayProtocol::reset(const ProtocolContext& ctx) {
+  RADIO_EXPECTS(ctx.n >= 2);
+  phase_length_ = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::log2(static_cast<double>(ctx.n)))));
+  active_.assign(ctx.n, 0);
+}
+
+void DecayProtocol::select_transmitters(std::uint32_t round,
+                                        const BroadcastSession& session,
+                                        Rng& rng, std::vector<NodeId>& out) {
+  RADIO_EXPECTS(active_.size() == session.graph().num_nodes());
+  const bool phase_start = (round - 1) % phase_length_ == 0;
+  for (NodeId v = 0; v < session.graph().num_nodes(); ++v) {
+    if (phase_start) active_[v] = session.informed(v) ? 1 : 0;
+    if (!active_[v]) continue;
+    out.push_back(v);
+    // Survive into the next round of this phase with probability 1/2.
+    if (!rng.bernoulli(0.5)) active_[v] = 0;
+  }
+}
+
+}  // namespace radio

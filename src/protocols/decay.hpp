@@ -1,0 +1,35 @@
+// The Decay protocol of Bar-Yehuda, Goldreich and Itai (JCSS 1992) — the
+// classic randomized broadcast for unknown radio networks and the natural
+// baseline for the paper's Theorem 7.
+//
+// Time is divided into phases of k = ceil(log2 n) rounds. A node that holds
+// the message at a phase boundary becomes ACTIVE for the phase; in every
+// round of the phase each active node transmits and then stays active for
+// the next round with probability 1/2. Marginally, an active node transmits
+// in round j of the phase with probability 2^{-(j-1)}, so for any set of
+// competing neighbors some round has roughly one expected transmitter.
+// Nodes informed mid-phase wait for the next phase boundary (as in BGI).
+#pragma once
+
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace radio {
+
+class DecayProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "decay[BGI]"; }
+  bool is_distributed() const override { return true; }
+  void reset(const ProtocolContext& ctx) override;
+  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+                           Rng& rng, std::vector<NodeId>& out) override;
+
+  std::uint32_t phase_length() const noexcept { return phase_length_; }
+
+ private:
+  std::uint32_t phase_length_ = 1;
+  std::vector<std::uint8_t> active_;
+};
+
+}  // namespace radio

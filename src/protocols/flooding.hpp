@@ -1,0 +1,23 @@
+// Naive flooding: every informed node transmits every round.
+//
+// The canonical negative baseline for radio networks: on any graph where two
+// informed nodes share an uninformed neighbor, that neighbor is jammed
+// forever. On G(n,p) flooding stalls almost immediately once the informed
+// set grows past a couple of nodes — E4 uses it to show why the collision
+// model makes broadcast nontrivial at all.
+#pragma once
+
+#include "sim/protocol.hpp"
+
+namespace radio {
+
+class FloodingProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "flooding"; }
+  bool is_distributed() const override { return true; }
+  void reset(const ProtocolContext&) override {}
+  void select_transmitters(std::uint32_t, const BroadcastSession& session,
+                           Rng&, std::vector<NodeId>& out) override;
+};
+
+}  // namespace radio

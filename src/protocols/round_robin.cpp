@@ -1,0 +1,15 @@
+#include "protocols/round_robin.hpp"
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+void RoundRobinProtocol::select_transmitters(std::uint32_t round,
+                                             const BroadcastSession& session,
+                                             Rng&, std::vector<NodeId>& out) {
+  RADIO_EXPECTS(n_ == session.graph().num_nodes());
+  const NodeId v = static_cast<NodeId>((round - 1) % n_);
+  if (session.informed(v)) out.push_back(v);
+}
+
+}  // namespace radio

@@ -1,0 +1,64 @@
+// Deterministic broadcast via strongly selective families — the worst-case
+// tool the related work (Chlebus et al., Clementi et al., Chrobak et al.)
+// builds on, included as the deterministic baseline for E4.
+//
+// A family F of subsets of [n] is strongly k-selective if for every subset
+// S ⊆ [n] with |S| <= k and every v ∈ S there is a set in F containing v and
+// no other member of S. The classic construction uses residue classes
+// modulo primes: take all pairs (q, r) with q prime in (k·ln n, 2k·ln n] and
+// r ∈ [0, q); two distinct ids below n can agree modulo at most log_q(n)
+// primes, so with enough primes every pair is split. The protocol cycles
+// through the family: in the round for (q, r), node v transmits iff informed
+// and v ≡ r (mod q). Family size is O((k ln n / ln(k ln n)) · k ln n) —
+// polylogarithmic rounds per cycle for constant k, but with a much bigger
+// constant than the randomized protocols, which is exactly the point of the
+// comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/protocol.hpp"
+
+namespace radio {
+
+/// Builds the modular family for ids in [0, n): the (prime, residue) pairs
+/// in cycling order. Exposed for direct testing of selectivity.
+struct ModularFamily {
+  struct Round {
+    std::uint32_t prime = 0;
+    std::uint32_t residue = 0;
+  };
+  std::vector<Round> rounds;
+
+  /// True iff id participates in the given round.
+  static bool selects(const Round& round, NodeId id) noexcept {
+    return id % round.prime == round.residue;
+  }
+};
+
+/// Primes needed so any k distinct ids < n are pairwise split: all primes in
+/// (threshold, 2*threshold] where threshold = max(k·ln n, 2). Requires n >= 2.
+ModularFamily build_modular_family(NodeId n, std::uint32_t k);
+
+class SelectiveFamilyProtocol final : public Protocol {
+ public:
+  explicit SelectiveFamilyProtocol(std::uint32_t k = 2) : k_(k) {}
+
+  std::string name() const override { return "selective-family"; }
+  bool is_distributed() const override { return true; }
+  void reset(const ProtocolContext& ctx) override;
+  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+                           Rng&, std::vector<NodeId>& out) override;
+
+  std::size_t cycle_length() const noexcept { return family_.rounds.size(); }
+
+ private:
+  std::uint32_t k_ = 2;
+  ModularFamily family_;
+};
+
+/// Simple deterministic primality by trial division (inputs are tiny).
+bool is_prime(std::uint32_t value) noexcept;
+
+}  // namespace radio

@@ -1,0 +1,26 @@
+#include "protocols/uniform_gossip.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+void UniformGossipProtocol::reset(const ProtocolContext& ctx) {
+  if (configured_q_ > 0.0) {
+    q_ = std::min(1.0, configured_q_);
+  } else {
+    const double d = ctx.expected_degree();
+    RADIO_EXPECTS(d > 0.0);
+    q_ = std::min(1.0, 1.0 / d);
+  }
+}
+
+void UniformGossipProtocol::select_transmitters(
+    std::uint32_t, const BroadcastSession& session, Rng& rng,
+    std::vector<NodeId>& out) {
+  for (NodeId v = 0; v < session.graph().num_nodes(); ++v)
+    if (session.informed(v) && rng.bernoulli(q_)) out.push_back(v);
+}
+
+}  // namespace radio

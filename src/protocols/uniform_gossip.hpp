@@ -1,0 +1,30 @@
+// Uniform gossip: every informed node transmits with a fixed probability q
+// in every round. The one-knob baseline between flooding (q = 1) and silence
+// (q = 0); q = 1/d is the stationary regime Theorem 7's tail converges to,
+// so E4/E9 use this protocol to isolate what the non-selective ramp-up and
+// the kick-off round actually buy.
+#pragma once
+
+#include "sim/protocol.hpp"
+
+namespace radio {
+
+class UniformGossipProtocol final : public Protocol {
+ public:
+  /// q <= 0 means "use 1/d from the context at reset time".
+  explicit UniformGossipProtocol(double q = 0.0) : configured_q_(q) {}
+
+  std::string name() const override { return "uniform-gossip"; }
+  bool is_distributed() const override { return true; }
+  void reset(const ProtocolContext& ctx) override;
+  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+                           Rng& rng, std::vector<NodeId>& out) override;
+
+  double probability() const noexcept { return q_; }
+
+ private:
+  double configured_q_ = 0.0;
+  double q_ = 1.0;
+};
+
+}  // namespace radio

@@ -1,0 +1,94 @@
+#include "sim/engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+RadioEngine::RadioEngine(const Graph& g)
+    : graph_(&g),
+      hits_(g.num_nodes(), 0),
+      unique_sender_(g.num_nodes(), kInvalidNode),
+      transmitting_(g.num_nodes()) {}
+
+void RadioEngine::record_observations(bool enabled) {
+  record_observations_ = enabled;
+  if (enabled && observations_.size() != graph_->num_nodes())
+    observations_.assign(graph_->num_nodes(), ChannelObservation::kSilence);
+}
+
+RadioEngine::Outcome RadioEngine::step(std::span<const NodeId> transmitters,
+                                       const Bitset& informed,
+                                       std::vector<NodeId>& delivered) {
+  RADIO_EXPECTS(informed.size() == graph_->num_nodes());
+  Outcome outcome;
+
+  // Reset last round's observations before computing this round's (only the
+  // entries that were written — never O(n)).
+  if (record_observations_) {
+    for (NodeId v : observed_) observations_[v] = ChannelObservation::kSilence;
+    observed_.clear();
+  }
+
+  for (NodeId t : transmitters) {
+    RADIO_EXPECTS(t < graph_->num_nodes());
+    RADIO_EXPECTS(!transmitting_.test(t));  // duplicates are caller bugs
+    transmitting_.set(t);
+  }
+
+  for (NodeId t : transmitters) {
+    for (NodeId w : graph_->neighbors(t)) {
+      if (hits_[w] == 0) {
+        hits_[w] = 1;
+        unique_sender_[w] = t;
+        touched_.push_back(w);
+      } else if (hits_[w] == 1) {
+        hits_[w] = 2;  // saturate: >= 2 means collision regardless of count
+      }
+    }
+  }
+
+  for (NodeId w : touched_) {
+    if (transmitting_.test(w)) continue;  // transmitters never receive
+    if (hits_[w] >= 2) {
+      ++outcome.collisions;
+      if (record_observations_) {
+        observations_[w] = ChannelObservation::kCollision;
+        observed_.push_back(w);
+      }
+    } else {
+      // Exactly one transmitting neighbor: reception succeeds. The message
+      // is delivered only if that neighbor holds it.
+      const NodeId sender = unique_sender_[w];
+      if (record_observations_) {
+        observations_[w] = ChannelObservation::kMessage;
+        observed_.push_back(w);
+      }
+      if (informed.test(sender)) {
+        if (informed.test(w)) {
+          ++outcome.redundant;
+        } else {
+          delivered.push_back(w);
+        }
+      }
+    }
+  }
+
+  if (record_observations_) {
+    for (NodeId t : transmitters) {
+      observations_[t] = ChannelObservation::kTransmitting;
+      observed_.push_back(t);
+    }
+  }
+
+  // Reset scratch via the touched lists (never O(n)).
+  for (NodeId w : touched_) {
+    hits_[w] = 0;
+    unique_sender_[w] = kInvalidNode;
+  }
+  touched_.clear();
+  for (NodeId t : transmitters) transmitting_.reset(t);
+
+  return outcome;
+}
+
+}  // namespace radio

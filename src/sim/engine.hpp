@@ -1,0 +1,73 @@
+// The radio channel itself: one synchronous round of the model in §1.1.
+//
+// Semantics (exactly the paper's): every node either transmits or listens.
+// A listening node w RECEIVES iff precisely one of its neighbors transmits;
+// if two or more transmit, a collision destroys the round for w; a
+// transmitting node never receives. A received transmission delivers the
+// broadcast message only if the transmitter actually holds it — uninformed
+// transmitters still jam the channel (needed verbatim by Theorem 6's relaxed
+// adversary, which lets arbitrary sets transmit).
+//
+// The engine owns scratch arrays sized to the graph so a round costs
+// O(Σ deg(t) over transmitters t) with no per-round allocation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace radio {
+
+/// What a node experienced on the channel in one round. The paper's model
+/// gives listeners no collision detection — a collision is indistinguishable
+/// from silence — so kCollision is only distinguishable from kSilence when
+/// the engine runs with observation recording enabled (the collision-
+/// detection MODEL EXTENSION used by AdaptiveBackoffProtocol; see
+/// protocols/adaptive_backoff.hpp).
+enum class ChannelObservation : std::uint8_t {
+  kSilence = 0,      ///< listened, no transmitting neighbor
+  kMessage = 1,      ///< listened, exactly one transmitting neighbor
+  kCollision = 2,    ///< listened, two or more transmitting neighbors
+  kTransmitting = 3, ///< was transmitting (hears nothing by definition)
+};
+
+class RadioEngine {
+ public:
+  explicit RadioEngine(const Graph& g);
+
+  /// Enables per-node channel observations (collision-detection extension).
+  /// Off by default: the base model must not pay for it.
+  void record_observations(bool enabled);
+
+  /// Valid after a step() with recording enabled: one entry per node.
+  std::span<const ChannelObservation> last_observations() const noexcept {
+    return observations_;
+  }
+
+  /// Executes one round. `transmitters` must be distinct node ids.
+  /// `informed` is the pre-round informed set. Appends every listener that
+  /// successfully receives THE MESSAGE this round to `delivered` (uninformed
+  /// listeners only — re-deliveries are counted, not appended).
+  struct Outcome {
+    std::uint32_t collisions = 0;  ///< listeners jammed by >= 2 transmitters
+    std::uint32_t redundant = 0;   ///< informed listeners that heard it again
+  };
+  Outcome step(std::span<const NodeId> transmitters, const Bitset& informed,
+               std::vector<NodeId>& delivered);
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<std::uint8_t> hits_;     ///< per node: 0, 1, or 2 (saturating)
+  std::vector<NodeId> unique_sender_;  ///< valid when hits_ == 1
+  Bitset transmitting_;
+  std::vector<NodeId> touched_;        ///< nodes whose scratch needs reset
+  bool record_observations_ = false;
+  std::vector<ChannelObservation> observations_;
+  std::vector<NodeId> observed_;       ///< nodes whose observation needs reset
+};
+
+}  // namespace radio

@@ -1,0 +1,55 @@
+// Distributed protocol interface.
+//
+// A protocol decides, round by round, which nodes transmit. The interface
+// hands the protocol the whole session for convenience, but a *fully
+// distributed* protocol (the paper's §3.2 setting) must restrict itself to
+// per-node knowledge: the node's own informed status, the round it became
+// informed, the global clock, and the public parameters n and p. Protocols
+// that peek further (topology, the informed set of other nodes) are
+// centralized and say so via `is_distributed()`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "sim/session.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+/// Public parameters every node knows in the distributed model.
+struct ProtocolContext {
+  NodeId n = 0;      ///< number of nodes
+  double p = 0.0;    ///< edge probability (d = p*n)
+
+  double expected_degree() const noexcept { return p * static_cast<double>(n); }
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if the protocol only uses per-node knowledge (see header comment).
+  virtual bool is_distributed() const = 0;
+
+  /// Called once before round 1.
+  virtual void reset(const ProtocolContext& ctx) = 0;
+
+  /// Appends this round's transmitters to `out` (cleared by the caller).
+  /// `round` is 1-based and equals session.current_round() + 1.
+  virtual void select_transmitters(std::uint32_t round,
+                                   const BroadcastSession& session, Rng& rng,
+                                   std::vector<NodeId>& out) = 0;
+
+  /// Collision-detection MODEL EXTENSION (off in the paper's model): a
+  /// protocol returning true here is fed per-node channel observations after
+  /// every round via observe(). The base model's protocols leave both as-is.
+  virtual bool wants_observations() const { return false; }
+  virtual void observe(std::uint32_t /*round*/,
+                       std::span<const ChannelObservation> /*observations*/) {}
+};
+
+}  // namespace radio

@@ -1,0 +1,38 @@
+#include "sim/runner.hpp"
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+BroadcastRun run_protocol(Protocol& protocol, const ProtocolContext& ctx,
+                          BroadcastSession& session, Rng& rng,
+                          std::uint32_t max_rounds) {
+  RADIO_EXPECTS(max_rounds > 0);
+  protocol.reset(ctx);
+  const bool feedback = protocol.wants_observations();
+  if (feedback) session.enable_observations();
+  BroadcastRun run;
+  std::vector<NodeId> transmitters;
+  for (std::uint32_t round = 1; round <= max_rounds; ++round) {
+    if (session.complete()) break;
+    transmitters.clear();
+    protocol.select_transmitters(round, session, rng, transmitters);
+    const RoundStats& stats = session.step(transmitters);
+    if (feedback) protocol.observe(round, session.last_observations());
+    ++run.rounds;
+    run.collisions += stats.collisions;
+    run.transmissions += stats.transmitters;
+  }
+  run.completed = session.complete();
+  run.informed = session.informed_count();
+  return run;
+}
+
+BroadcastRun broadcast_with(Protocol& protocol, const ProtocolContext& ctx,
+                            const Graph& g, NodeId source, Rng& rng,
+                            std::uint32_t max_rounds) {
+  BroadcastSession session(g, source);
+  return run_protocol(protocol, ctx, session, rng, max_rounds);
+}
+
+}  // namespace radio

@@ -1,0 +1,30 @@
+// Drives a protocol against a session until completion or a round budget.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/protocol.hpp"
+#include "sim/session.hpp"
+
+namespace radio {
+
+struct BroadcastRun {
+  bool completed = false;
+  std::uint32_t rounds = 0;          ///< rounds executed
+  std::uint64_t collisions = 0;      ///< total collision events
+  std::uint64_t transmissions = 0;   ///< total transmissions (energy proxy)
+  std::size_t informed = 0;          ///< informed nodes at the end
+};
+
+/// Runs `protocol` on `session` for at most `max_rounds` rounds, stopping as
+/// soon as every node is informed. The protocol's reset() is invoked first.
+BroadcastRun run_protocol(Protocol& protocol, const ProtocolContext& ctx,
+                          BroadcastSession& session, Rng& rng,
+                          std::uint32_t max_rounds);
+
+/// Convenience: fresh session on `g` from `source`, then run_protocol.
+BroadcastRun broadcast_with(Protocol& protocol, const ProtocolContext& ctx,
+                            const Graph& g, NodeId source, Rng& rng,
+                            std::uint32_t max_rounds);
+
+}  // namespace radio

@@ -1,0 +1,65 @@
+#include "sim/schedule_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace radio {
+
+std::string schedule_to_text(const Schedule& schedule) {
+  std::ostringstream out;
+  out << "radio-schedule v1\n";
+  out << "rounds " << schedule.rounds.size() << "\n";
+  for (std::size_t i = 0; i < schedule.rounds.size(); ++i) {
+    const std::string phase =
+        i < schedule.phase_of.size() && !schedule.phase_of[i].empty()
+            ? schedule.phase_of[i]
+            : std::string("-");
+    out << "round " << i << " " << phase << " " << schedule.rounds[i].size();
+    for (NodeId v : schedule.rounds[i]) out << " " << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::optional<Schedule> schedule_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  if (!(in >> word) || word != "radio-schedule") return std::nullopt;
+  if (!(in >> word) || word != "v1") return std::nullopt;
+  std::size_t rounds = 0;
+  if (!(in >> word) || word != "rounds" || !(in >> rounds)) return std::nullopt;
+
+  Schedule schedule;
+  schedule.rounds.resize(rounds);
+  schedule.phase_of.resize(rounds);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    std::size_t index = 0, count = 0;
+    std::string phase;
+    if (!(in >> word) || word != "round") return std::nullopt;
+    if (!(in >> index) || index != i) return std::nullopt;
+    if (!(in >> phase)) return std::nullopt;
+    if (!(in >> count)) return std::nullopt;
+    schedule.phase_of[i] = phase == "-" ? std::string{} : phase;
+    schedule.rounds[i].resize(count);
+    for (std::size_t k = 0; k < count; ++k)
+      if (!(in >> schedule.rounds[i][k])) return std::nullopt;
+  }
+  return schedule;
+}
+
+bool save_schedule(const Schedule& schedule, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << schedule_to_text(schedule);
+  return static_cast<bool>(file);
+}
+
+std::optional<Schedule> load_schedule(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return schedule_from_text(buffer.str());
+}
+
+}  // namespace radio

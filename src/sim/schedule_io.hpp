@@ -1,0 +1,31 @@
+// Schedule (de)serialization: a precomputed Theorem-5 schedule is an
+// operational artifact — a deployment plans it once, ships it to devices,
+// and audits it later. The text format is line-oriented and diff-friendly:
+//
+//   radio-schedule v1
+//   rounds <R>
+//   round <index> <phase-label> <k> <id_1> ... <id_k>
+//
+// Phase labels must not contain whitespace (builder labels never do).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sim/schedule.hpp"
+
+namespace radio {
+
+/// Serializes to the v1 text format.
+std::string schedule_to_text(const Schedule& schedule);
+
+/// Parses the v1 text format; nullopt on any syntax error (wrong magic,
+/// truncated round, count mismatch).
+std::optional<Schedule> schedule_from_text(const std::string& text);
+
+/// File helpers; false on I/O or parse failure.
+bool save_schedule(const Schedule& schedule, const std::string& path);
+std::optional<Schedule> load_schedule(const std::string& path);
+
+}  // namespace radio

@@ -1,0 +1,48 @@
+#include "sim/schedule_tools.hpp"
+
+#include "sim/session.hpp"
+#include "util/assert.hpp"
+
+namespace radio {
+
+PruneReport prune_schedule(const Schedule& schedule, const Graph& graph,
+                           NodeId source) {
+  RADIO_EXPECTS(source < graph.num_nodes());
+  Schedule current = schedule;
+  if (current.phase_of.size() != current.rounds.size())
+    current.phase_of.resize(current.rounds.size());
+
+  PruneReport report;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    BroadcastSession session(graph, source);
+    Schedule next;
+    for (std::size_t i = 0; i < current.rounds.size(); ++i) {
+      const RoundStats& stats = session.step(current.rounds[i]);
+      if (stats.newly_informed == 0) {
+        ++report.removed_rounds;
+        report.removed_transmissions += current.rounds[i].size();
+        changed = true;
+      } else {
+        next.rounds.push_back(std::move(current.rounds[i]));
+        next.phase_of.push_back(std::move(current.phase_of[i]));
+      }
+    }
+    current = std::move(next);
+  }
+  report.schedule = std::move(current);
+  return report;
+}
+
+bool schedules_equivalent(const Schedule& a, const Schedule& b,
+                          const Graph& graph, NodeId source) {
+  RADIO_EXPECTS(source < graph.num_nodes());
+  BroadcastSession sa(graph, source);
+  for (const auto& round : a.rounds) sa.step(round);
+  BroadcastSession sb(graph, source);
+  for (const auto& round : b.rounds) sb.step(round);
+  return sa.informed_set() == sb.informed_set();
+}
+
+}  // namespace radio

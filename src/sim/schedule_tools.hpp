@@ -1,0 +1,33 @@
+// Schedule post-processing.
+//
+// The Theorem-5 builder derandomizes by resampling, but a frozen schedule
+// can still contain rounds that deliver nothing on the graph it was built
+// for (e.g. trailing parity rounds after the pipeline stagnated). Removing a
+// zero-yield round never changes the informed set at any later point, so
+// pruning is sound; it tightens the artifact a deployment actually ships.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "sim/schedule.hpp"
+
+namespace radio {
+
+struct PruneReport {
+  Schedule schedule;            ///< the pruned schedule
+  std::uint32_t removed_rounds = 0;
+  std::uint64_t removed_transmissions = 0;
+};
+
+/// Simulates `schedule` from `source` and drops every round that informs no
+/// new node. Iterates to a fixed point (dropping a round can make a later
+/// duplicate round unproductive too). The pruned schedule provably informs
+/// exactly the same final set.
+PruneReport prune_schedule(const Schedule& schedule, const Graph& graph,
+                           NodeId source);
+
+/// True iff both schedules inform the same final node set from `source`
+/// (used to validate pruning and serialization round-trips).
+bool schedules_equivalent(const Schedule& a, const Schedule& b,
+                          const Graph& graph, NodeId source);
+
+}  // namespace radio

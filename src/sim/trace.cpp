@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace radio {
+
+Table trace_table(const BroadcastSession& session) {
+  Table table({"round", "transmitters", "newly_informed", "collisions",
+               "redundant", "informed_total"});
+  for (const RoundStats& s : session.history()) {
+    table.row()
+        .cell(static_cast<std::uint64_t>(s.round))
+        .cell(static_cast<std::uint64_t>(s.transmitters))
+        .cell(static_cast<std::uint64_t>(s.newly_informed))
+        .cell(static_cast<std::uint64_t>(s.collisions))
+        .cell(static_cast<std::uint64_t>(s.wasted))
+        .cell(s.informed_total);
+  }
+  return table;
+}
+
+std::string trace_summary(const BroadcastSession& session) {
+  std::ostringstream out;
+  if (session.complete()) {
+    out << "completed in " << session.current_round() << " rounds";
+  } else {
+    out << "incomplete after " << session.current_round() << " rounds";
+  }
+  out << ", " << session.total_collisions() << " collision events, "
+      << session.informed_count() << "/" << session.graph().num_nodes()
+      << " informed";
+  return out.str();
+}
+
+}  // namespace radio

@@ -1,0 +1,63 @@
+#include "singleport/rumor.hpp"
+
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
+
+namespace radio {
+
+const char* rumor_mode_name(RumorMode mode) noexcept {
+  switch (mode) {
+    case RumorMode::kPush:
+      return "push";
+    case RumorMode::kPull:
+      return "pull";
+    case RumorMode::kPushPull:
+      return "push-pull";
+  }
+  return "?";
+}
+
+RumorRun spread_rumor(const Graph& g, NodeId source, RumorMode mode, Rng& rng,
+                      std::uint32_t max_rounds) {
+  RADIO_EXPECTS(source < g.num_nodes());
+  RADIO_EXPECTS(max_rounds > 0);
+  const NodeId n = g.num_nodes();
+
+  Bitset informed(n);
+  informed.set(source);
+  std::size_t informed_count = 1;
+  // Next round's deliveries are staged so the whole round is synchronous
+  // (a node informed this round starts participating next round).
+  std::vector<NodeId> staged;
+
+  RumorRun run;
+  const bool push = mode != RumorMode::kPull;
+  const bool pull = mode != RumorMode::kPush;
+
+  for (std::uint32_t round = 1; round <= max_rounds; ++round) {
+    if (informed_count == n) break;
+    staged.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) continue;
+      if (push && informed.test(v)) {
+        const NodeId target = nbrs[rng.uniform_below(nbrs.size())];
+        ++run.messages;
+        if (!informed.test(target)) staged.push_back(target);
+      }
+      if (pull && !informed.test(v)) {
+        const NodeId contact = nbrs[rng.uniform_below(nbrs.size())];
+        ++run.messages;
+        if (informed.test(contact)) staged.push_back(v);
+      }
+    }
+    for (NodeId w : staged)
+      if (informed.set_if_clear(w)) ++informed_count;
+    ++run.rounds;
+  }
+  run.completed = informed_count == n;
+  run.informed = informed_count;
+  return run;
+}
+
+}  // namespace radio

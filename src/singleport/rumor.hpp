@@ -1,0 +1,41 @@
+// The single-port rumor-spreading substrate — the related-work comparison
+// model (§1.2: Frieze–Molloy, Chen, Feige et al.).
+//
+// Unlike the radio model there is no shared channel and no collision: in
+// each round an informed node contacts ONE neighbor (push), or an uninformed
+// node contacts one neighbor hoping it knows (pull), or both (push-pull).
+// Feige et al. show push completes in O(log n) rounds on G(n,p) above the
+// connectivity threshold. E4 places these next to the radio protocols to
+// show that the paper's O(ln n) radio bound matches the single-port rate
+// despite the collision channel.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+enum class RumorMode {
+  kPush,      ///< informed nodes push to a random neighbor
+  kPull,      ///< uninformed nodes pull from a random neighbor
+  kPushPull,  ///< both per round
+};
+
+struct RumorRun {
+  bool completed = false;
+  std::uint32_t rounds = 0;
+  std::uint64_t messages = 0;  ///< total contacts made
+  std::size_t informed = 0;
+};
+
+/// Simulates rumor spreading from `source` until every node is informed or
+/// `max_rounds` elapse.
+RumorRun spread_rumor(const Graph& g, NodeId source, RumorMode mode, Rng& rng,
+                      std::uint32_t max_rounds);
+
+/// Human-readable mode name for tables.
+const char* rumor_mode_name(RumorMode mode) noexcept;
+
+}  // namespace radio

@@ -1,0 +1,32 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// Expects/Ensures (I.6, I.8). Violations abort with a source location;
+// checks stay on in release builds because every consumer of this library
+// feeds simulation parameters derived from user input.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace radio::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace radio::detail
+
+#define RADIO_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::radio::detail::contract_failure("precondition", #cond, __FILE__,     \
+                                        __LINE__);                           \
+  } while (0)
+
+#define RADIO_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::radio::detail::contract_failure("postcondition", #cond, __FILE__,    \
+                                        __LINE__);                           \
+  } while (0)

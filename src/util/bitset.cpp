@@ -1,0 +1,66 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+
+namespace radio {
+
+std::size_t Bitset::count() const noexcept {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool Bitset::none() const noexcept {
+  for (auto w : words_)
+    if (w != 0) return false;
+  return true;
+}
+
+bool Bitset::all() const noexcept {
+  if (size_ == 0) return true;
+  const std::size_t full_words = size_ / 64;
+  for (std::size_t i = 0; i < full_words; ++i)
+    if (words_[i] != ~std::uint64_t{0}) return false;
+  const std::size_t tail = size_ & 63;
+  if (tail != 0) {
+    const std::uint64_t mask = (std::uint64_t{1} << tail) - 1;
+    if ((words_[full_words] & mask) != mask) return false;
+  }
+  return true;
+}
+
+void Bitset::collect(std::vector<std::uint32_t>& out) const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + bit));
+      w &= w - 1;
+    }
+  }
+}
+
+std::size_t Bitset::set_union(const Bitset& other) noexcept {
+  RADIO_EXPECTS(other.size_ == size_);
+  std::size_t gained = 0;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    const std::uint64_t before = words_[wi];
+    const std::uint64_t merged = before | other.words_[wi];
+    gained += static_cast<std::size_t>(std::popcount(merged ^ before));
+    words_[wi] = merged;
+  }
+  return gained;
+}
+
+std::size_t Bitset::find_first_clear() const noexcept {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    const std::uint64_t w = ~words_[wi];
+    if (w != 0) {
+      const std::size_t idx = wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+      return idx < size_ ? idx : size_;
+    }
+  }
+  return size_;
+}
+
+}  // namespace radio

@@ -1,0 +1,77 @@
+// Flat dynamic bitset tuned for the simulator's hot loops: informed sets,
+// transmitter sets and per-round "hit once / hit twice" marks over node ids.
+// std::vector<bool> is avoided (no word access, poor codegen); boost is not a
+// dependency. Only the operations the simulator needs are provided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+class Bitset {
+ public:
+  Bitset() = default;
+
+  explicit Bitset(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return size_; }
+
+  bool test(std::size_t i) const noexcept {
+    RADIO_EXPECTS(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) noexcept {
+    RADIO_EXPECTS(i < size_);
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void reset(std::size_t i) noexcept {
+    RADIO_EXPECTS(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Sets bit i and reports whether it was previously clear.
+  bool set_if_clear(std::size_t i) noexcept {
+    RADIO_EXPECTS(i < size_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    const bool was_clear = (w & mask) == 0;
+    w |= mask;
+    return was_clear;
+  }
+
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  std::size_t count() const noexcept;
+
+  /// True iff no bit is set.
+  bool none() const noexcept;
+
+  /// True iff every bit in [0, size) is set.
+  bool all() const noexcept;
+
+  /// Appends the indices of all set bits to `out` in increasing order.
+  void collect(std::vector<std::uint32_t>& out) const;
+
+  /// Index of the lowest clear bit, or size() if all bits are set.
+  std::size_t find_first_clear() const noexcept;
+
+  /// In-place union with an equally sized bitset; returns how many bits
+  /// newly flipped to set (the gossip session's knowledge-merge primitive).
+  std::size_t set_union(const Bitset& other) noexcept;
+
+  bool operator==(const Bitset& other) const noexcept = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace radio

@@ -1,0 +1,36 @@
+// Minimal --flag=value command-line parsing for the example binaries.
+// Examples accept a handful of numeric knobs (n, p, trials, seed); anything
+// heavier would be ceremony. Unknown flags are an error so typos surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace radio {
+
+class CliArgs {
+ public:
+  /// Parses argv of the form --name=value or --name value. Throws
+  /// std::runtime_error on malformed input or (in validate()) unknown flags.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Call after all get_* calls: errors out if the user passed a flag the
+  /// program never consulted.
+  void validate() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace radio

@@ -1,0 +1,118 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace radio {
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  RADIO_EXPECTS(a.size() == n * n);
+  // Gaussian elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    RADIO_EXPECTS(best > 1e-12);  // non-singular
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[pivot * n + c], a[col * n + c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c)
+        a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri * n + c] * x[c];
+    x[ri] = acc / a[ri * n + ri];
+  }
+  return x;
+}
+
+LinearFit least_squares(std::span<const double> design, std::size_t cols,
+                        std::span<const double> y) {
+  RADIO_EXPECTS(cols >= 1);
+  RADIO_EXPECTS(design.size() % cols == 0);
+  const std::size_t rows = design.size() / cols;
+  RADIO_EXPECTS(rows == y.size());
+  RADIO_EXPECTS(rows >= cols);
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<double> xtx(cols * cols, 0.0);
+  std::vector<double> xty(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = design.data() + r * cols;
+    for (std::size_t i = 0; i < cols; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = 0; j < cols; ++j) xtx[i * cols + j] += row[i] * row[j];
+    }
+  }
+  LinearFit fit;
+  fit.coefficients = solve_dense(std::move(xtx), std::move(xty));
+
+  const double ybar = mean(y);
+  double sse = 0.0, sst = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = design.data() + r * cols;
+    double pred = 0.0;
+    for (std::size_t i = 0; i < cols; ++i) pred += row[i] * fit.coefficients[i];
+    sse += (y[r] - pred) * (y[r] - pred);
+    sst += (y[r] - ybar) * (y[r] - ybar);
+  }
+  fit.r_squared = sst > 0.0 ? 1.0 - sse / sst : 1.0;
+  fit.residual_stddev =
+      rows > cols ? std::sqrt(sse / static_cast<double>(rows - cols)) : 0.0;
+  return fit;
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  RADIO_EXPECTS(x.size() == y.size());
+  std::vector<double> design;
+  design.reserve(x.size() * 2);
+  for (double v : x) {
+    design.push_back(v);
+    design.push_back(1.0);
+  }
+  return least_squares(design, 2, y);
+}
+
+BroadcastModelFit fit_centralized_model(std::span<const double> n,
+                                        std::span<const double> d,
+                                        std::span<const double> rounds) {
+  RADIO_EXPECTS(n.size() == d.size());
+  RADIO_EXPECTS(n.size() == rounds.size());
+  std::vector<double> design;
+  design.reserve(n.size() * 3);
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    RADIO_EXPECTS(n[i] > 1.0 && d[i] > 1.0);
+    design.push_back(std::log(n[i]) / std::log(d[i]));
+    design.push_back(std::log(d[i]));
+    design.push_back(1.0);
+  }
+  const LinearFit fit = least_squares(design, 3, rounds);
+  BroadcastModelFit out;
+  out.diameter_coeff = fit.coefficients[0];
+  out.selective_coeff = fit.coefficients[1];
+  out.intercept = fit.coefficients[2];
+  out.r_squared = fit.r_squared;
+  return out;
+}
+
+}  // namespace radio

@@ -1,0 +1,47 @@
+// Ordinary least squares on small design matrices.
+//
+// The experiments fit measured round counts against the paper's asymptotic
+// models, e.g. Theorem 5's  rounds ≈ a·(ln n / ln d) + b·ln d + c  and
+// Theorem 7's  rounds ≈ a·ln n + b.  Design matrices have 2–4 columns and at
+// most a few hundred rows, so we solve the normal equations by Gaussian
+// elimination with partial pivoting — no external linear algebra needed.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace radio {
+
+struct LinearFit {
+  std::vector<double> coefficients;  ///< one per design column
+  double r_squared = 0.0;            ///< coefficient of determination
+  double residual_stddev = 0.0;      ///< sqrt(SSE / (rows - cols))
+};
+
+/// Fits y ≈ X·beta. `design` is row-major with `cols` columns; the caller
+/// appends a constant-1 column if an intercept is wanted. Requires
+/// rows >= cols >= 1 and a non-singular normal matrix.
+LinearFit least_squares(std::span<const double> design, std::size_t cols,
+                        std::span<const double> y);
+
+/// Convenience: fit y ≈ a·x + b. Returns {a, b} in `coefficients`.
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Theorem 5 model: rounds ≈ a·(ln n / ln d) + b·ln d + c.
+/// Inputs are per-observation (n, d, rounds) triples.
+struct BroadcastModelFit {
+  double diameter_coeff = 0.0;   ///< a, multiplies ln n / ln d
+  double selective_coeff = 0.0;  ///< b, multiplies ln d
+  double intercept = 0.0;        ///< c
+  double r_squared = 0.0;
+};
+BroadcastModelFit fit_centralized_model(std::span<const double> n,
+                                        std::span<const double> d,
+                                        std::span<const double> rounds);
+
+/// Solves the dense linear system A x = b (n x n, row-major) by Gaussian
+/// elimination with partial pivoting. Requires a non-singular A.
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b);
+
+}  // namespace radio

@@ -1,0 +1,119 @@
+// Deterministic, stream-splittable pseudo-random number generation.
+//
+// Monte-Carlo trials run in parallel (one OpenMP task per trial), so every
+// trial derives its own generator from (base_seed, trial_index) via
+// SplitMix64. Results are therefore bit-identical regardless of thread count.
+//
+// Xoshiro256** is the workhorse generator: 256-bit state, passes BigCrush,
+// ~1 ns per draw, and satisfies UniformRandomBitGenerator so it composes with
+// <random> distributions when needed. We provide hand-rolled uniform /
+// bernoulli / binomial / geometric helpers because libstdc++'s
+// std::binomial_distribution is not reproducible across versions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace radio {
+
+/// SplitMix64: 64-bit state scrambler used for seeding and stream splitting.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, rewritten). All-zero state is repaired at seeding time.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  /// Deterministic sub-stream for trial `stream`: hashes (seed, stream)
+  /// through SplitMix64 so neighbouring streams are uncorrelated.
+  static Xoshiro256StarStar for_stream(std::uint64_t seed,
+                                       std::uint64_t stream) noexcept {
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    return Xoshiro256StarStar(sm.next());
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Unbiased uniform integer in [0, bound) via Lemire's multiply-shift
+  /// rejection method. Requires bound > 0.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+    RADIO_EXPECTS(lo <= hi);
+    return lo + uniform_below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Geometric: number of failures before the first success, success
+  /// probability p in (0, 1]. Used by the G(n,p) skip sampler.
+  std::uint64_t geometric_skips(double p) noexcept;
+
+  /// Binomial(n, p) via inversion for small mean and a numerically stable
+  /// normal-tail hybrid otherwise. Exact distribution is not required by any
+  /// algorithm (only generators/tests), but determinism is.
+  std::uint64_t binomial(std::uint64_t n, double p) noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Library-wide generator alias; algorithms take `Rng&` so the engine can be
+/// swapped in one place.
+using Rng = Xoshiro256StarStar;
+
+}  // namespace radio

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+double quantile(std::span<const double> values, double q) {
+  RADIO_EXPECTS(!values.empty());
+  RADIO_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+  RADIO_EXPECTS(!values.empty());
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double sample_stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+Summary summarize(std::span<const double> values) {
+  RADIO_EXPECTS(!values.empty());
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = sample_stddev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.median = quantile(values, 0.5);
+  s.p05 = quantile(values, 0.05);
+  s.p95 = quantile(values, 0.95);
+  return s;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  RADIO_EXPECTS(x.size() == y.size());
+  RADIO_EXPECTS(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double fraction_at_most(std::span<const double> values, double threshold) {
+  RADIO_EXPECTS(!values.empty());
+  std::size_t hits = 0;
+  for (double v : values)
+    if (v <= threshold) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(values.size());
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z) {
+  RADIO_EXPECTS(trials > 0);
+  RADIO_EXPECTS(successes <= trials);
+  RADIO_EXPECTS(z > 0.0);
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return Interval{std::max(0.0, center - margin),
+                  std::min(1.0, center + margin)};
+}
+
+Interval bootstrap_mean_ci(std::span<const double> values, double confidence,
+                           int resamples, std::uint64_t seed) {
+  RADIO_EXPECTS(!values.empty());
+  RADIO_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  RADIO_EXPECTS(resamples > 0);
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  const auto n = values.size();
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += values[rng.uniform_below(n)];
+    means.push_back(acc / static_cast<double>(n));
+  }
+  const double tail = (1.0 - confidence) / 2.0;
+  return Interval{quantile(means, tail), quantile(means, 1.0 - tail)};
+}
+
+}  // namespace radio

@@ -1,0 +1,62 @@
+// Summary statistics over Monte-Carlo trial outcomes.
+//
+// Everything here works on plain vectors of doubles; experiment drivers
+// convert their typed results (round counts, coverage fractions, ...) before
+// summarizing. Quantiles use the inclusive linear-interpolation definition
+// (type 7, the numpy/R default) so tables match what a reader reproduces in a
+// notebook.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace radio {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Full summary of `values`. Requires at least one value.
+Summary summarize(std::span<const double> values);
+
+/// Quantile q in [0, 1] of `values` (type-7 interpolation). Requires a
+/// non-empty input; `values` need not be sorted.
+double quantile(std::span<const double> values, double q);
+
+double mean(std::span<const double> values);
+
+/// Sample standard deviation; zero for fewer than two values.
+double sample_stddev(std::span<const double> values);
+
+/// Pearson correlation of two equally sized non-empty spans.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Fraction of values satisfying value <= threshold. Used for "completes
+/// within c*ln n rounds in XX% of trials" claims.
+double fraction_at_most(std::span<const double> values, double threshold);
+
+/// Bootstrap percentile confidence interval for the mean.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval bootstrap_mean_ci(std::span<const double> values, double confidence,
+                           int resamples, std::uint64_t seed);
+
+/// Wilson score interval for a binomial proportion (successes out of
+/// trials) — the right interval for "completed k of N trials" rows, well
+/// behaved at 0 and N unlike the normal approximation. `z` is the standard
+/// normal quantile (1.96 for 95%).
+Interval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96);
+
+}  // namespace radio

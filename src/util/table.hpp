@@ -1,0 +1,55 @@
+// Plain-text result tables shared by the bench binaries and examples.
+//
+// Every experiment prints one aligned table to stdout (the "paper table") and
+// can optionally mirror it to a CSV file for plotting. Cells are stored as
+// strings; numeric helpers format consistently (fixed precision, no locale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radio {
+
+class Table {
+ public:
+  /// Empty table with no columns; assign a real Table before adding rows.
+  Table() = default;
+
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return header_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Renders an aligned monospace table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing ',' or '"' are quoted).
+  std::string to_csv() const;
+
+  /// Prints to stdout with a title banner.
+  void print(const std::string& title) const;
+
+  /// Writes the CSV rendering to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting without locale surprises.
+std::string format_double(double value, int precision);
+
+}  // namespace radio

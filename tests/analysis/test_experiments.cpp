@@ -1,0 +1,154 @@
+// Experiment drivers: each E* driver runs end to end on a tiny trial budget
+// and produces a well-formed table plus its shape-check notes. These are the
+// same code paths the bench binaries regenerate the paper tables with.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "analysis/experiments.hpp"
+
+namespace radio {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.trials = 2;
+  config.seed = 7;
+  config.quick = true;
+  return config;
+}
+
+void expect_well_formed(const ExperimentResult& result, const char* id) {
+  EXPECT_EQ(result.id, id);
+  EXPECT_FALSE(result.title.empty());
+  EXPECT_GT(result.table.num_rows(), 0u);
+  EXPECT_GT(result.table.num_cols(), 0u);
+  EXPECT_FALSE(result.notes.empty());
+  // The table renders without tripping contracts.
+  EXPECT_FALSE(result.table.to_string().empty());
+  EXPECT_FALSE(result.table.to_csv().empty());
+}
+
+TEST(Experiments, E1RunsAndFits) {
+  const ExperimentResult r = run_e1_centralized_scaling(tiny_config());
+  expect_well_formed(r, "E1");
+  EXPECT_EQ(r.table.num_rows(), 15u);  // 3 regimes x 5 sizes in quick mode
+  EXPECT_NE(r.notes[0].find("fit:"), std::string::npos);
+}
+
+TEST(Experiments, E2RunsDensitySweep) {
+  const ExperimentResult r = run_e2_centralized_density(tiny_config());
+  expect_well_formed(r, "E2");
+  EXPECT_EQ(r.table.num_rows(), 7u);
+}
+
+TEST(Experiments, E3RunsBothVariants) {
+  const ExperimentResult r = run_e3_distributed_scaling(tiny_config());
+  expect_well_formed(r, "E3");
+  EXPECT_EQ(r.table.num_rows(), 12u);  // 2 variants x 6 sizes
+  EXPECT_GE(r.notes.size(), 2u);
+}
+
+TEST(Experiments, E4ComparesAllProtocols) {
+  const ExperimentResult r = run_e4_protocol_comparison(tiny_config());
+  expect_well_formed(r, "E4");
+  // 7 radio protocols + Thm-5 centralized + tree baseline + 3 rumor modes.
+  EXPECT_EQ(r.table.num_rows(), 12u);
+}
+
+TEST(Experiments, E5ProducesLayerRows) {
+  const ExperimentResult r = run_e5_layer_structure(tiny_config());
+  expect_well_formed(r, "E5");
+  EXPECT_GE(r.table.num_rows(), 4u);  // at least a few layers per regime
+}
+
+TEST(Experiments, E6CoversAllScenarios) {
+  const ExperimentResult r = run_e6_covering_matching(tiny_config());
+  expect_well_formed(r, "E6");
+  EXPECT_EQ(r.table.num_rows(), 7u);  // 3 cover + 3 matching + 1 prop2
+}
+
+TEST(Experiments, E7ProducesBothBounds) {
+  const ExperimentResult r = run_e7_lower_bounds(tiny_config());
+  expect_well_formed(r, "E7");
+  EXPECT_EQ(r.table.num_rows(), 4u + 6u);  // 4 Thm8 rows + 2x3 Thm6 rows
+}
+
+TEST(Experiments, E8SweepsDenseRegime) {
+  const ExperimentResult r = run_e8_dense_regime(tiny_config());
+  expect_well_formed(r, "E8");
+  EXPECT_EQ(r.table.num_rows(), 4u);
+}
+
+TEST(Experiments, E9CoversAllAblations) {
+  const ExperimentResult r = run_e9_phase_ablation(tiny_config());
+  expect_well_formed(r, "E9");
+  EXPECT_EQ(r.table.num_rows(), 7u);
+}
+
+TEST(Experiments, E10ComparesModels) {
+  const ExperimentResult r = run_e10_model_equivalence(tiny_config());
+  expect_well_formed(r, "E10");
+  EXPECT_EQ(r.table.num_rows(), 4u);  // 2 algorithms x 2 sizes in quick mode
+}
+
+TEST(Experiments, E11CoversAllFaultScenarios) {
+  const ExperimentResult r = run_e11_fault_robustness(tiny_config());
+  expect_well_formed(r, "E11");
+  EXPECT_EQ(r.table.num_rows(), 10u);  // 5 scenarios x 2 algorithms
+}
+
+TEST(Experiments, E12CoversAllGossipProtocols) {
+  const ExperimentResult r = run_e12_gossip_scaling(tiny_config());
+  expect_well_formed(r, "E12");
+  EXPECT_EQ(r.table.num_rows(), 12u);  // 4 sizes x 3 protocols in quick mode
+}
+
+TEST(Experiments, E13ComparesKnowledgeModels) {
+  const ExperimentResult r = run_e13_adaptive_backoff(tiny_config());
+  expect_well_formed(r, "E13");
+  EXPECT_EQ(r.table.num_rows(), 12u);  // 3 protocols x 4 sizes in quick mode
+}
+
+TEST(Experiments, E14SweepsSourceCounts) {
+  const ExperimentResult r = run_e14_multisource(tiny_config());
+  expect_well_formed(r, "E14");
+  EXPECT_EQ(r.table.num_rows(), 6u);  // k in {1,2,4,16,64,256}
+}
+
+TEST(Experiments, E15CoversAllTopologies) {
+  const ExperimentResult r = run_e15_structured_topologies(tiny_config());
+  expect_well_formed(r, "E15");
+  EXPECT_EQ(r.table.num_rows(), 15u);  // 5 topologies x 3 protocols
+}
+
+TEST(ExperimentConfig, EnvironmentOverrides) {
+  ::setenv("RADIO_TRIALS", "5", 1);
+  ::setenv("RADIO_SEED", "123", 1);
+  ::setenv("RADIO_FULL", "1", 1);
+  ::setenv("RADIO_CSV_DIR", "/tmp", 1);
+  const ExperimentConfig config = ExperimentConfig::from_environment("eX");
+  EXPECT_EQ(config.trials, 5);
+  EXPECT_EQ(config.seed, 123u);
+  EXPECT_FALSE(config.quick);
+  EXPECT_EQ(config.csv_path, "/tmp/eX.csv");
+  ::unsetenv("RADIO_TRIALS");
+  ::unsetenv("RADIO_SEED");
+  ::unsetenv("RADIO_FULL");
+  ::unsetenv("RADIO_CSV_DIR");
+}
+
+TEST(ExperimentConfig, DefaultsWithoutEnvironment) {
+  ::unsetenv("RADIO_TRIALS");
+  ::unsetenv("RADIO_SEED");
+  ::unsetenv("RADIO_FULL");
+  ::unsetenv("RADIO_CSV_DIR");
+  const ExperimentConfig config = ExperimentConfig::from_environment("eY");
+  EXPECT_EQ(config.trials, 16);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_TRUE(config.quick);
+  EXPECT_TRUE(config.csv_path.empty());
+}
+
+}  // namespace
+}  // namespace radio

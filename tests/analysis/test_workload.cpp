@@ -1,0 +1,91 @@
+// Workload generation and the trial runner's determinism contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/trial_runner.hpp"
+#include "analysis/workload.hpp"
+#include "graph/components.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Workload, ProducesConnectedInstanceInRegime) {
+  Rng rng(1);
+  const NodeId n = 512;
+  const double d = 3.0 * std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, d), rng);
+  EXPECT_TRUE(is_connected(instance.graph));
+  EXPECT_FALSE(instance.giant_component);
+  EXPECT_NEAR(instance.realized_mean_degree, d, d * 0.3);
+}
+
+TEST(Workload, FallsBackToGiantComponentBelowThreshold) {
+  Rng rng(2);
+  // d = 2: way below ln n, never connected -> giant-component fallback.
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(2000, 2.0), rng);
+  EXPECT_TRUE(instance.giant_component);
+  EXPECT_TRUE(is_connected(instance.graph));
+  EXPECT_LT(instance.graph.num_nodes(), 2000u);
+  EXPECT_GT(instance.graph.num_nodes(), 2000u / 4);  // giant component exists at d=2
+}
+
+TEST(Workload, PickSourceInRange) {
+  Rng rng(3);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(128, 16.0), rng);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_LT(pick_source(instance.graph, rng), instance.graph.num_nodes());
+}
+
+TEST(Workload, ContextMatchesInstance) {
+  Rng rng(4);
+  const GnpParams params{300, 0.06};
+  const BroadcastInstance instance = make_broadcast_instance(params, rng);
+  const ProtocolContext ctx = context_for(instance);
+  EXPECT_EQ(ctx.n, instance.graph.num_nodes());
+  EXPECT_DOUBLE_EQ(ctx.p, 0.06);
+  EXPECT_NEAR(ctx.expected_degree(), 0.06 * instance.graph.num_nodes(), 1e-9);
+}
+
+TEST(TrialRunner, ResultsInTrialOrder) {
+  const auto results = run_trials<int>(16, 1, [](int i, Rng&) { return i * i; });
+  ASSERT_EQ(results.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(TrialRunner, DeterministicAcrossRuns) {
+  auto draw = [](int trials) {
+    return run_trials<std::uint64_t>(trials, 42,
+                                     [](int, Rng& rng) { return rng(); });
+  };
+  EXPECT_EQ(draw(8), draw(8));
+}
+
+TEST(TrialRunner, PerTrialStreamsAreIndependent) {
+  const auto values = run_trials<std::uint64_t>(
+      32, 7, [](int, Rng& rng) { return rng(); });
+  for (std::size_t i = 0; i < values.size(); ++i)
+    for (std::size_t j = i + 1; j < values.size(); ++j)
+      EXPECT_NE(values[i], values[j]);
+}
+
+TEST(TrialRunner, SeedChangesResults) {
+  const auto a = run_trials<std::uint64_t>(4, 1, [](int, Rng& rng) { return rng(); });
+  const auto b = run_trials<std::uint64_t>(4, 2, [](int, Rng& rng) { return rng(); });
+  EXPECT_NE(a, b);
+}
+
+TEST(TrialRunner, DoubleConvenienceWrapper) {
+  const auto values =
+      run_trials_double(5, 3, [](int i, Rng&) { return i + 0.5; });
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_DOUBLE_EQ(values[2], 2.5);
+}
+
+TEST(TrialRunner, ThreadCountReported) { EXPECT_GE(trial_threads(), 1); }
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,202 @@
+// Theorem 5 schedule builder: completion, legality, phase structure, round
+// bounds, options, degenerate and dense inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "graph/random_graph.hpp"
+#include "sim/session.hpp"
+
+namespace radio {
+namespace {
+
+CentralizedResult build_on_gnp(NodeId n, double d, std::uint64_t seed,
+                               const CentralizedOptions& options = {}) {
+  Rng rng(seed);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, d), rng);
+  return build_centralized_schedule(instance.graph, 0,
+                                    instance.params.expected_degree(), rng,
+                                    options);
+}
+
+TEST(Centralized, CompletesOnSparseGnp) {
+  const CentralizedResult r = build_on_gnp(512, 2.0 * std::log(512.0), 1);
+  EXPECT_TRUE(r.report.completed);
+  EXPECT_GT(r.report.total_rounds, 0u);
+  EXPECT_EQ(r.report.total_rounds, r.schedule.length());
+}
+
+TEST(Centralized, CompletesOnDenserGnp) {
+  const double ln_n = std::log(2048.0);
+  const CentralizedResult r = build_on_gnp(2048, ln_n * ln_n, 2);
+  EXPECT_TRUE(r.report.completed);
+}
+
+TEST(Centralized, ScheduleIsLegal) {
+  Rng rng(3);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(512, 20.0), rng);
+  const CentralizedResult r = build_centralized_schedule(
+      instance.graph, 0, 20.0, rng);
+  ASSERT_TRUE(r.report.completed);
+  EXPECT_TRUE(schedule_is_legal(r.schedule, instance.graph, 0));
+}
+
+TEST(Centralized, ReplayReproducesCompletion) {
+  Rng rng(4);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(512, 25.0), rng);
+  const CentralizedResult r =
+      build_centralized_schedule(instance.graph, 7 % instance.graph.num_nodes(),
+                                 25.0, rng);
+  ASSERT_TRUE(r.report.completed);
+  BroadcastSession session(instance.graph, 7 % instance.graph.num_nodes());
+  const SchedulePlayback playback = play_schedule(r.schedule, session);
+  EXPECT_TRUE(playback.completed);
+  EXPECT_EQ(playback.protocol_violations, 0u);
+}
+
+TEST(Centralized, PhaseAnnotationsCoverEveryRound) {
+  const CentralizedResult r = build_on_gnp(512, 22.0, 5);
+  EXPECT_EQ(r.schedule.phase_of.size(), r.schedule.rounds.size());
+  for (const std::string& phase : r.schedule.phase_of)
+    EXPECT_TRUE(phase.rfind("phase", 0) == 0) << phase;
+}
+
+TEST(Centralized, PhaseCountsSumToTotal) {
+  const CentralizedResult r = build_on_gnp(1024, 30.0, 6);
+  EXPECT_EQ(r.report.phase1_rounds + r.report.phase2_rounds +
+                r.report.phase3_rounds,
+            r.report.total_rounds);
+}
+
+TEST(Centralized, RoundCountWithinAsymptoticEnvelope) {
+  // Rounds should be O(ln n/ln d + ln d) with a modest constant; allow 12x.
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const NodeId n = 2048;
+    const double d = 60.0;
+    const CentralizedResult r = build_on_gnp(n, d, seed);
+    ASSERT_TRUE(r.report.completed);
+    const double target = centralized_target_rounds(2048.0, 60.0);
+    EXPECT_LE(static_cast<double>(r.report.total_rounds), 12.0 * target);
+  }
+}
+
+TEST(Centralized, AtLeastDiameterRounds) {
+  const CentralizedResult r = build_on_gnp(1024, 14.0, 15);
+  ASSERT_TRUE(r.report.completed);
+  EXPECT_GE(r.report.total_rounds, r.report.eccentricity);
+}
+
+TEST(Centralized, TinyCompleteGraphOneishRounds) {
+  Rng rng(16);
+  const Graph g = generate_gnp({16, 1.0}, rng);
+  const CentralizedResult r = build_centralized_schedule(g, 0, 15.0, rng);
+  EXPECT_TRUE(r.report.completed);
+  EXPECT_LE(r.report.total_rounds, 3u);  // source alone informs everyone
+}
+
+TEST(Centralized, TwoNodeGraph) {
+  Rng rng(17);
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  const CentralizedResult r = build_centralized_schedule(g, 0, 1.5, rng);
+  EXPECT_TRUE(r.report.completed);
+  EXPECT_LE(r.report.total_rounds, 3u);
+}
+
+TEST(Centralized, PathGraphDegenerateStillCompletes) {
+  // Far outside the G(n,p) regime: a path (d=2) exercises pure pipelining.
+  std::vector<Edge> edges;
+  const NodeId n = 40;
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  const Graph g = Graph::from_edges(n, edges);
+  Rng rng(18);
+  const CentralizedResult r = build_centralized_schedule(g, 0, 2.0, rng);
+  EXPECT_TRUE(r.report.completed);
+  EXPECT_GE(r.report.total_rounds, n - 1);  // diameter bound
+}
+
+TEST(Centralized, DenseRegimeCompletes) {
+  Rng rng(19);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams{512, 0.5}, rng);
+  const CentralizedResult r = build_centralized_schedule(
+      instance.graph, 0, 256.0, rng);
+  EXPECT_TRUE(r.report.completed);
+  // ~log2 n scale with constant slack.
+  EXPECT_LE(r.report.total_rounds, 60u);
+}
+
+TEST(Centralized, AblateParityStillCompletes) {
+  CentralizedOptions options;
+  options.ablate_parity = true;
+  const CentralizedResult r = build_on_gnp(1024, 30.0, 20, options);
+  EXPECT_TRUE(r.report.completed);
+}
+
+TEST(Centralized, AblateDisjointSetsStillCompletes) {
+  CentralizedOptions options;
+  options.ablate_disjoint_sets = true;
+  const CentralizedResult r = build_on_gnp(1024, 30.0, 21, options);
+  EXPECT_TRUE(r.report.completed);
+}
+
+TEST(Centralized, NoPrivateMatchingStillCompletes) {
+  CentralizedOptions options;
+  options.use_private_matching = false;
+  const CentralizedResult r = build_on_gnp(1024, 30.0, 22, options);
+  EXPECT_TRUE(r.report.completed);
+}
+
+TEST(Centralized, ReportTracksUninformedMonotonically) {
+  const CentralizedResult r = build_on_gnp(2048, 50.0, 23);
+  EXPECT_GE(r.report.uninformed_after_phase1, r.report.uninformed_after_phase2);
+  if (r.report.completed) {
+    // Phase 2 must push uninformed below the n/d^2-ish residual the design
+    // promises (with slack for small instances).
+    EXPECT_LE(r.report.uninformed_after_phase2,
+              static_cast<std::size_t>(2048.0 / 50.0) + 1);
+  }
+}
+
+TEST(Centralized, TotalTransmissionsMatchesSchedule) {
+  const CentralizedResult r = build_on_gnp(512, 20.0, 24);
+  EXPECT_EQ(r.report.total_transmissions, r.schedule.total_transmissions());
+}
+
+TEST(Centralized, SourceChoiceDoesNotBreakCompletion) {
+  Rng rng(25);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(512, 24.0), rng);
+  for (NodeId source : {NodeId{0}, NodeId{100}, NodeId{511 % instance.graph.num_nodes()}}) {
+    Rng build_rng(source + 1);
+    const CentralizedResult r = build_centralized_schedule(
+        instance.graph, source, 24.0, build_rng);
+    EXPECT_TRUE(r.report.completed) << "source " << source;
+  }
+}
+
+TEST(CentralizedDeathTest, RequiresValidSource) {
+  Rng rng(26);
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_DEATH(build_centralized_schedule(g, 5, 1.5, rng), "precondition");
+}
+
+TEST(CentralizedDeathTest, RequiresDegreeAboveOne) {
+  Rng rng(27);
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_DEATH(build_centralized_schedule(g, 0, 0.5, rng), "precondition");
+}
+
+TEST(CentralizedTarget, Formula) {
+  EXPECT_NEAR(centralized_target_rounds(std::exp(4.0), std::exp(2.0)),
+              2.0 + 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(centralized_target_rounds(1.0, 10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,112 @@
+// Lemma 3 probe: measured layer structure on hand-built and random graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "core/layer_probe.hpp"
+#include "graph/random_graph.hpp"
+
+namespace radio {
+namespace {
+
+TEST(LayerProbe, EmptyForSingleNode) {
+  const Graph g = Graph::from_edges(1, {});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  EXPECT_TRUE(probe_layers(g, layers, 2.0).empty());
+}
+
+TEST(LayerProbe, PathGraphRows) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  const auto rows = probe_layers(g, layers, 2.0);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const LayerProbeRow& row : rows) {
+    EXPECT_EQ(row.size, 1u);
+    EXPECT_EQ(row.intra_layer_edges, 0u);
+    EXPECT_EQ(row.multi_parent_nodes, 0u);
+    EXPECT_EQ(row.largest_sibling_group, 1u);
+    EXPECT_DOUBLE_EQ(row.mean_parent_degree, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(rows[0].predicted_size, 2.0);
+  EXPECT_DOUBLE_EQ(rows[1].predicted_size, 4.0);  // capped at n=4
+}
+
+TEST(LayerProbe, DiamondHasMultiParent) {
+  // 0 - 1, 0 - 2, 1 - 3, 2 - 3: layer 2 = {3} with two parents.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  const auto rows = probe_layers(g, layers, 2.0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].multi_parent_nodes, 1u);
+  EXPECT_DOUBLE_EQ(rows[1].multi_parent_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(rows[1].mean_parent_degree, 2.0);
+}
+
+TEST(LayerProbe, IntraLayerEdgesCountedOnce) {
+  // Star plus an edge between two leaves: layer 1 has exactly 1 inner edge.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  const auto rows = probe_layers(g, layers, 3.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].intra_layer_edges, 1u);
+  EXPECT_EQ(rows[0].size, 3u);
+}
+
+TEST(LayerProbe, SiblingGroupsUnderSharedParent) {
+  // 0 -> {1,2,3} all children of 0: one sibling group of size 3.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  const auto rows = probe_layers(g, layers, 3.0);
+  EXPECT_EQ(rows[0].largest_sibling_group, 3u);
+}
+
+TEST(LayerProbe, GnpEarlyLayersAreNearTrees) {
+  Rng rng(1);
+  const NodeId n = 4096;
+  const double d = 2.0 * std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, d), rng);
+  const LayerDecomposition layers = bfs_layers(instance.graph, 0);
+  const auto rows = probe_layers(instance.graph, layers, d);
+  ASSERT_GE(rows.size(), 2u);
+  // Lemma 3 regime: the first layers have almost no structure violations.
+  EXPECT_LE(rows[0].multi_parent_fraction, 0.1);
+  EXPECT_LE(rows[0].intra_layer_edges, 5u);
+  EXPECT_LE(rows[1].multi_parent_fraction, 0.15);
+  // Layer sizes track d^i within constants before saturation.
+  EXPECT_GT(static_cast<double>(rows[0].size), 0.3 * d);
+  EXPECT_LT(static_cast<double>(rows[0].size), 3.0 * d);
+}
+
+TEST(LayerProbe, SummaryAggregatesWorstCases) {
+  std::vector<LayerProbeRow> rows(3);
+  rows[0].multi_parent_fraction = 0.1;
+  rows[0].intra_layer_edges = 2;
+  rows[0].size = 10;
+  rows[0].predicted_size = 10.0;
+  rows[1].multi_parent_fraction = 0.4;
+  rows[1].intra_layer_edges = 5;
+  rows[1].size = 30;
+  rows[1].predicted_size = 10.0;
+  rows[2].multi_parent_fraction = 0.9;  // excluded by layers_to_check = 2
+  rows[2].intra_layer_edges = 100;
+  rows[2].size = 1;
+  rows[2].predicted_size = 1.0;
+  const LayerProbeSummary s = summarize_probe(rows, 2);
+  EXPECT_DOUBLE_EQ(s.worst_multi_parent_fraction, 0.4);
+  EXPECT_EQ(s.total_intra_layer_edges, 7u);
+  EXPECT_DOUBLE_EQ(s.worst_size_ratio, 3.0);
+}
+
+TEST(LayerProbe, SummaryHandlesOversizedLimit) {
+  std::vector<LayerProbeRow> rows(1);
+  rows[0].multi_parent_fraction = 0.2;
+  rows[0].predicted_size = 0.0;  // guard division
+  const LayerProbeSummary s = summarize_probe(rows, 99);
+  EXPECT_DOUBLE_EQ(s.worst_multi_parent_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(s.worst_size_ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,125 @@
+// BFS layer decomposition: distances, layers, parents, helpers.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/random_graph.hpp"
+
+namespace radio {
+namespace {
+
+Graph path(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, static_cast<NodeId>(v + 1)});
+  return Graph::from_edges(n, edges);
+}
+
+TEST(Bfs, SingleNode) {
+  const Graph g = Graph::from_edges(1, {});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  ASSERT_EQ(layers.layers.size(), 1u);
+  EXPECT_EQ(layers.layers[0], std::vector<NodeId>{0});
+  EXPECT_EQ(layers.eccentricity(), 0u);
+  EXPECT_EQ(layers.distance[0], 0u);
+  EXPECT_EQ(layers.parent[0], kInvalidNode);
+}
+
+TEST(Bfs, PathDistances) {
+  const Graph g = path(5);
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(layers.distance[v], v);
+  EXPECT_EQ(layers.eccentricity(), 4u);
+  ASSERT_EQ(layers.layers.size(), 5u);
+  for (NodeId v = 0; v < 5; ++v)
+    EXPECT_EQ(layers.layers[v], std::vector<NodeId>{v});
+}
+
+TEST(Bfs, PathFromMiddle) {
+  const Graph g = path(5);
+  const LayerDecomposition layers = bfs_layers(g, 2);
+  EXPECT_EQ(layers.eccentricity(), 2u);
+  EXPECT_EQ(layers.layers[1].size(), 2u);  // nodes 1 and 3
+  EXPECT_EQ(layers.layers[2].size(), 2u);  // nodes 0 and 4
+}
+
+TEST(Bfs, ParentsAreOneLayerCloser) {
+  Rng rng(1);
+  const Graph g = generate_gnp({300, 0.03}, rng);
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v == 0 || layers.distance[v] == kUnreachable) continue;
+    const NodeId parent = layers.parent[v];
+    ASSERT_NE(parent, kInvalidNode);
+    EXPECT_EQ(layers.distance[parent] + 1, layers.distance[v]);
+    EXPECT_TRUE(g.has_edge(parent, v));
+  }
+}
+
+TEST(Bfs, UnreachableNodesFlagged) {
+  // Two components: triangle {0,1,2} and edge {3,4}.
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  EXPECT_EQ(layers.distance[3], kUnreachable);
+  EXPECT_EQ(layers.distance[4], kUnreachable);
+  EXPECT_EQ(layers.reachable_count(), 3u);
+  EXPECT_EQ(layers.parent[3], kInvalidNode);
+}
+
+TEST(Bfs, LayersPartitionReachableNodes) {
+  Rng rng(2);
+  const Graph g = generate_gnp({500, 0.02}, rng);
+  const LayerDecomposition layers = bfs_layers(g, 7);
+  std::vector<int> seen(g.num_nodes(), 0);
+  for (const auto& layer : layers.layers)
+    for (NodeId v : layer) ++seen[v];
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (layers.distance[v] == kUnreachable)
+      EXPECT_EQ(seen[v], 0);
+    else
+      EXPECT_EQ(seen[v], 1);
+  }
+}
+
+TEST(Bfs, DistancesOnlyMatchesFullDecomposition) {
+  Rng rng(3);
+  const Graph g = generate_gnp({400, 0.02}, rng);
+  const LayerDecomposition layers = bfs_layers(g, 11);
+  const std::vector<std::uint32_t> dist = bfs_distances(g, 11);
+  EXPECT_EQ(dist, layers.distance);
+}
+
+TEST(Bfs, TriangleInequalityOverEdges) {
+  Rng rng(4);
+  const Graph g = generate_gnp({400, 0.02}, rng);
+  const std::vector<std::uint32_t> dist = bfs_distances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] == kUnreachable) continue;
+    for (NodeId w : g.neighbors(v)) {
+      ASSERT_NE(dist[w], kUnreachable);
+      EXPECT_LE(dist[w], dist[v] + 1);
+      EXPECT_GE(dist[w] + 1, dist[v]);
+    }
+  }
+}
+
+TEST(Bfs, FirstLayerOfSize) {
+  const Graph g = path(4);
+  const LayerDecomposition layers = bfs_layers(g, 0);
+  EXPECT_EQ(layers.first_layer_of_size(1), 0u);
+  EXPECT_EQ(layers.first_layer_of_size(2), layers.layers.size());
+}
+
+TEST(Bfs, StarLayers) {
+  std::vector<Edge> edges;
+  for (NodeId leaf = 1; leaf < 8; ++leaf) edges.push_back({0, leaf});
+  const Graph g = Graph::from_edges(8, edges);
+  const LayerDecomposition from_center = bfs_layers(g, 0);
+  EXPECT_EQ(from_center.eccentricity(), 1u);
+  EXPECT_EQ(from_center.layers[1].size(), 7u);
+  const LayerDecomposition from_leaf = bfs_layers(g, 3);
+  EXPECT_EQ(from_leaf.eccentricity(), 2u);
+  EXPECT_EQ(from_leaf.layers[1], std::vector<NodeId>{0});
+  EXPECT_EQ(from_leaf.layers[2].size(), 6u);
+}
+
+}  // namespace
+}  // namespace radio

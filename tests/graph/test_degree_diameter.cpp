@@ -1,0 +1,121 @@
+// Degree statistics and diameter computations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/degree.hpp"
+#include "graph/diameter.hpp"
+#include "graph/random_graph.hpp"
+
+namespace radio {
+namespace {
+
+Graph path(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  return Graph::from_edges(n, edges);
+}
+
+TEST(DegreeStats, PathGraph) {
+  const DegreeStats s = degree_stats(path(5));
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 8.0 / 5.0);
+}
+
+TEST(DegreeStats, CompleteGraph) {
+  Rng rng(1);
+  const Graph g = generate_gnp({20, 1.0}, rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 19u);
+  EXPECT_EQ(s.max_degree, 19u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 19.0);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const Graph g = Graph::from_edges(0, {});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min_degree, 0u);
+  EXPECT_EQ(s.mean_degree, 0.0);
+}
+
+TEST(DegreeStats, ConcentrationRatios) {
+  const DegreeStats s = degree_stats(path(5));
+  const auto conc = s.concentration(2.0);
+  EXPECT_DOUBLE_EQ(conc.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(conc.beta, 1.0);
+}
+
+TEST(DegreeStats, GnpConcentratesAroundPn) {
+  Rng rng(2);
+  const NodeId n = 2000;
+  const double d = 40.0;
+  const Graph g = generate_gnp(GnpParams::with_degree(n, d), rng);
+  const DegreeStats s = degree_stats(g);
+  const auto conc = s.concentration(d);
+  // The paper's alpha/beta regime: constants bracketing 1.
+  EXPECT_GT(conc.alpha, 0.3);
+  EXPECT_LT(conc.beta, 2.5);
+  EXPECT_NEAR(s.mean_degree, d, 2.0);
+}
+
+TEST(Diameter, PathExact) {
+  EXPECT_EQ(exact_diameter(path(6)), 5u);
+}
+
+TEST(Diameter, CompleteGraphIsOne) {
+  Rng rng(3);
+  const Graph g = generate_gnp({15, 1.0}, rng);
+  EXPECT_EQ(exact_diameter(g), 1u);
+}
+
+TEST(Diameter, SingleNodeIsZero) {
+  EXPECT_EQ(exact_diameter(Graph::from_edges(1, {})), 0u);
+}
+
+TEST(Diameter, DisconnectedReportsUnreachable) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(exact_diameter(g), kUnreachable);
+  Rng rng(4);
+  EXPECT_EQ(double_sweep_diameter(g, rng), kUnreachable);
+}
+
+TEST(Diameter, DoubleSweepLowerBoundsExact) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = generate_gnp({150, 0.04}, rng);
+    const std::uint32_t exact = exact_diameter(g);
+    if (exact == kUnreachable) continue;
+    Rng sweep_rng(trial);
+    const std::uint32_t bound = double_sweep_diameter(g, sweep_rng);
+    EXPECT_LE(bound, exact);
+    EXPECT_GE(bound * 2 + 1, exact);  // double sweep is a >= D/2 bound
+  }
+}
+
+TEST(Diameter, DoubleSweepExactOnPath) {
+  Rng rng(6);
+  EXPECT_EQ(double_sweep_diameter(path(10), rng), 9u);
+}
+
+TEST(Diameter, ExpectedDiameterFormula) {
+  EXPECT_NEAR(expected_diameter(1000.0, 10.0), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(expected_diameter(1.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_diameter(100.0, 1.0), 0.0);
+}
+
+TEST(Diameter, GnpDiameterNearLogScale) {
+  Rng rng(7);
+  const NodeId n = 600;
+  const double d = 12.0;
+  const Graph g = generate_gnp(GnpParams::with_degree(n, d), rng);
+  const std::uint32_t exact = exact_diameter(g);
+  if (exact == kUnreachable) GTEST_SKIP() << "disconnected draw";
+  const double scale = expected_diameter(static_cast<double>(n), d);
+  EXPECT_GE(static_cast<double>(exact), scale * 0.8);
+  EXPECT_LE(static_cast<double>(exact), scale * 4.0 + 2.0);
+}
+
+}  // namespace
+}  // namespace radio

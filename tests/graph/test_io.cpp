@@ -1,0 +1,85 @@
+// Graph edge-list (de)serialization.
+#include <gtest/gtest.h>
+
+#include "graph/io.hpp"
+#include "graph/random_graph.hpp"
+
+namespace radio {
+namespace {
+
+TEST(GraphIo, TextRoundTripTriangle) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto parsed = graph_from_text(graph_to_text(g));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  EXPECT_EQ(parsed->edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, RoundTripRandomGraph) {
+  Rng rng(1);
+  const Graph g = generate_gnp({200, 0.05}, rng);
+  const auto parsed = graph_from_text(graph_to_text(g));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_nodes(), g.num_nodes());
+  EXPECT_EQ(parsed->num_edges(), g.num_edges());
+  EXPECT_EQ(parsed->edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  const Graph g = Graph::from_edges(5, {});
+  const auto parsed = graph_from_text(graph_to_text(g));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_nodes(), 5u);
+  EXPECT_EQ(parsed->num_edges(), 0u);
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a comment\n\n3 2 # trailing comment\n0 1\n\n# another\n1 2\n";
+  const auto parsed = graph_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_nodes(), 3u);
+  EXPECT_EQ(parsed->num_edges(), 2u);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  EXPECT_FALSE(graph_from_text("3 1\n1 1\n").has_value());
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  EXPECT_FALSE(graph_from_text("3 1\n0 7\n").has_value());
+}
+
+TEST(GraphIo, RejectsEdgeCountMismatch) {
+  EXPECT_FALSE(graph_from_text("3 2\n0 1\n").has_value());
+  EXPECT_FALSE(graph_from_text("3 1\n0 1\n1 2\n").has_value());
+}
+
+TEST(GraphIo, RejectsGarbageTokens) {
+  EXPECT_FALSE(graph_from_text("three 1\n0 1\n").has_value());
+  EXPECT_FALSE(graph_from_text("3 1\n0 -1\n").has_value());
+  EXPECT_FALSE(graph_from_text("").has_value());
+}
+
+TEST(GraphIo, DuplicateEdgesCollapse) {
+  const auto parsed = graph_from_text("3 3\n0 1\n1 0\n0 1\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->num_edges(), 1u);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(2);
+  const Graph g = generate_gnp({50, 0.1}, rng);
+  const std::string path = ::testing::TempDir() + "/radio_graph_test.txt";
+  ASSERT_TRUE(save_graph(g, path));
+  const auto loaded = load_graph(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->edge_list(), g.edge_list());
+}
+
+TEST(GraphIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_graph("/nonexistent_zzz/graph.txt").has_value());
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,168 @@
+// Random graph generators: edge-count concentration, determinism, dense and
+// sparse paths, G(n,m) exactness, connectivity helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/components.hpp"
+#include "graph/degree.hpp"
+#include "graph/random_graph.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Gnp, ZeroProbabilityIsEmpty) {
+  Rng rng(1);
+  const Graph g = generate_gnp({100, 0.0}, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Gnp, ProbabilityOneIsComplete) {
+  Rng rng(2);
+  const Graph g = generate_gnp({40, 1.0}, rng);
+  EXPECT_EQ(g.num_edges(), 40u * 39u / 2u);
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(g.degree(v), 39u);
+}
+
+TEST(Gnp, EdgeCountConcentratesSparse) {
+  Rng rng(3);
+  const GnpParams params{2000, 0.01};
+  const Graph g = generate_gnp(params, rng);
+  const double expected = 0.01 * 2000.0 * 1999.0 / 2.0;  // ~19990
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(Gnp, EdgeCountConcentratesDensePath) {
+  Rng rng(4);
+  const GnpParams params{400, 0.8};  // exercises the complement sampler
+  const Graph g = generate_gnp(params, rng);
+  const double expected = 0.8 * 400.0 * 399.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected * 0.2));
+}
+
+TEST(Gnp, DeterministicForFixedSeed) {
+  Rng a(5), b(5);
+  const Graph g1 = generate_gnp({500, 0.02}, a);
+  const Graph g2 = generate_gnp({500, 0.02}, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+TEST(Gnp, DifferentSeedsDifferentGraphs) {
+  Rng a(6), b(7);
+  const Graph g1 = generate_gnp({500, 0.02}, a);
+  const Graph g2 = generate_gnp({500, 0.02}, b);
+  EXPECT_NE(g1.edge_list(), g2.edge_list());
+}
+
+TEST(Gnp, NoSelfLoopsOrDuplicates) {
+  Rng rng(8);
+  const Graph g = generate_gnp({300, 0.05}, rng);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) {
+        EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      }
+    }
+  }
+}
+
+TEST(Gnp, WithDegreeHelperGivesRequestedMeanDegree) {
+  Rng rng(9);
+  const GnpParams params = GnpParams::with_degree(3000, 25.0);
+  EXPECT_NEAR(params.expected_degree(), 25.0, 1e-9);
+  const Graph g = generate_gnp(params, rng);
+  const DegreeStats stats = degree_stats(g);
+  EXPECT_NEAR(stats.mean_degree, 25.0, 1.5);
+}
+
+TEST(Gnp, TinyGraphs) {
+  Rng rng(10);
+  const Graph g0 = generate_gnp({0, 0.5}, rng);
+  EXPECT_EQ(g0.num_nodes(), 0u);
+  const Graph g1 = generate_gnp({1, 0.5}, rng);
+  EXPECT_EQ(g1.num_nodes(), 1u);
+  EXPECT_EQ(g1.num_edges(), 0u);
+  const Graph g2 = generate_gnp({2, 1.0}, rng);
+  EXPECT_EQ(g2.num_edges(), 1u);
+}
+
+TEST(Gnm, ExactEdgeCount) {
+  Rng rng(11);
+  for (EdgeCount m : {0ULL, 1ULL, 50ULL, 500ULL}) {
+    const Graph g = generate_gnm(100, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_EQ(g.num_nodes(), 100u);
+  }
+}
+
+TEST(Gnm, CompleteGraph) {
+  Rng rng(12);
+  const EdgeCount all = 30ULL * 29ULL / 2ULL;
+  const Graph g = generate_gnm(30, all, rng);
+  EXPECT_EQ(g.num_edges(), all);
+}
+
+TEST(Gnm, DensePathNearComplete) {
+  Rng rng(13);
+  const EdgeCount all = 60ULL * 59ULL / 2ULL;
+  const Graph g = generate_gnm(60, all - 10, rng);  // complement sampler path
+  EXPECT_EQ(g.num_edges(), all - 10);
+}
+
+TEST(Gnm, Deterministic) {
+  Rng a(14), b(14);
+  const Graph g1 = generate_gnm(200, 1000, a);
+  const Graph g2 = generate_gnm(200, 1000, b);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+TEST(ConnectedGnp, SucceedsAboveThreshold) {
+  Rng rng(15);
+  const NodeId n = 500;
+  const double p = connectivity_probability(n, 3.0);
+  const auto g = generate_connected_gnp({n, p}, rng);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(is_connected(*g));
+}
+
+TEST(ConnectedGnp, FailsFarBelowThreshold) {
+  Rng rng(16);
+  // p = 0 can never be connected for n >= 2.
+  const auto g = generate_connected_gnp({50, 0.0}, rng, 3);
+  EXPECT_FALSE(g.has_value());
+}
+
+TEST(ConnectivityProbability, ScalesAsLogOverN) {
+  const double p = connectivity_probability(1000, 2.0);
+  EXPECT_NEAR(p, 2.0 * std::log(1000.0) / 1000.0, 1e-12);
+  EXPECT_DOUBLE_EQ(connectivity_probability(1), 1.0);
+}
+
+/// Property sweep: across p values, the sparse and dense samplers both
+/// produce simple graphs with edge counts within 6 sigma of np(n-1)/2.
+class GnpSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GnpSweep, EdgeCountWithinSixSigma) {
+  const double p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 17);
+  const NodeId n = 600;
+  const Graph g = generate_gnp({n, p}, rng);
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  const double expected = p * pairs;
+  const double sigma = std::sqrt(pairs * p * (1.0 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              6.0 * sigma + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, GnpSweep,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.2, 0.5, 0.51,
+                                           0.8, 0.95, 0.999));
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,124 @@
+// Graph statistics: triangles, clustering, histograms, common neighbors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/random_graph.hpp"
+#include "graph/statistics.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Triangles, TriangleGraphHasOne) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(triangle_count(g), 1u);
+}
+
+TEST(Triangles, PathHasNone) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(triangle_count(g), 0u);
+}
+
+TEST(Triangles, CompleteGraphBinomial) {
+  Rng rng(1);
+  const Graph g = generate_gnp({8, 1.0}, rng);
+  EXPECT_EQ(triangle_count(g), 56u);  // C(8,3)
+}
+
+TEST(Triangles, TwoSharedTriangles) {
+  // Diamond: 0-1, 0-2, 1-2, 1-3, 2-3 -> triangles {0,1,2} and {1,2,3}.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(triangle_count(g), 2u);
+}
+
+TEST(Triangles, GnpMatchesExpectation) {
+  Rng rng(2);
+  const NodeId n = 600;
+  const double p = 0.05;
+  const Graph g = generate_gnp({n, p}, rng);
+  const double expected = static_cast<double>(n) * (n - 1) * (n - 2) / 6.0 *
+                          p * p * p;  // ~4470
+  EXPECT_NEAR(static_cast<double>(triangle_count(g)), expected,
+              expected * 0.15);
+}
+
+TEST(Clustering, CompleteGraphIsOne) {
+  Rng rng(3);
+  const Graph g = generate_gnp({10, 1.0}, rng);
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 1.0);
+}
+
+TEST(Clustering, TreeIsZero) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(g), 0.0);
+}
+
+TEST(Clustering, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(global_clustering_coefficient(Graph::from_edges(3, {})),
+                   0.0);
+}
+
+TEST(Clustering, GnpConcentratesAroundP) {
+  Rng rng(4);
+  const Graph g = generate_gnp({800, 0.08}, rng);
+  EXPECT_NEAR(global_clustering_coefficient(g), 0.08, 0.015);
+}
+
+TEST(DegreeHistogram, CountsPerDegree) {
+  // Star on 4 nodes: one degree-3 center, three degree-1 leaves.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  const auto histogram = degree_histogram(g);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0], 0u);
+  EXPECT_EQ(histogram[1], 3u);
+  EXPECT_EQ(histogram[2], 0u);
+  EXPECT_EQ(histogram[3], 1u);
+}
+
+TEST(DegreeHistogram, IsolatedNodes) {
+  const auto histogram = degree_histogram(Graph::from_edges(5, {}));
+  ASSERT_EQ(histogram.size(), 1u);
+  EXPECT_EQ(histogram[0], 5u);
+}
+
+TEST(DegreeHistogram, EmptyGraph) {
+  EXPECT_TRUE(degree_histogram(Graph::from_edges(0, {})).empty());
+}
+
+TEST(DegreeHistogram, SumsToNodeCount) {
+  Rng rng(5);
+  const Graph g = generate_gnp({300, 0.04}, rng);
+  const auto histogram = degree_histogram(g);
+  std::size_t total = 0;
+  for (std::size_t count : histogram) total += count;
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(CommonNeighbors, HandBuiltCases) {
+  // 0 and 1 share neighbors 2 and 3; 0 and 4 share none.
+  const Graph g =
+      Graph::from_edges(5, {{0, 2}, {0, 3}, {1, 2}, {1, 3}, {4, 0}});
+  EXPECT_EQ(common_neighbors(g, 0, 1), 2u);
+  EXPECT_EQ(common_neighbors(g, 1, 0), 2u);
+  EXPECT_EQ(common_neighbors(g, 2, 3), 2u);  // share 0 and 1
+  EXPECT_EQ(common_neighbors(g, 2, 4), 1u);  // share 0
+  EXPECT_EQ(common_neighbors(g, 1, 4), 0u);  // nothing shared
+}
+
+TEST(CommonNeighbors, SampledMeanMatchesGnpExpectation) {
+  Rng rng(6);
+  const NodeId n = 2000;
+  const double p = 0.03;
+  const Graph g = generate_gnp({n, p}, rng);
+  const double measured = mean_common_neighbors_sampled(g, 5000, 7);
+  const double expected = static_cast<double>(n - 2) * p * p;  // ~1.8
+  EXPECT_NEAR(measured, expected, expected * 0.25);
+}
+
+TEST(CommonNeighborsDeathTest, RejectsIdenticalNodes) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  EXPECT_DEATH(common_neighbors(g, 1, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace radio

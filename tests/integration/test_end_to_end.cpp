@@ -1,0 +1,154 @@
+// Cross-module integration: the full pipeline from generator to protocols,
+// cross-checked against each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "core/distributed.hpp"
+#include "core/scheduled_protocol.hpp"
+#include "protocols/decay.hpp"
+#include "sim/runner.hpp"
+
+namespace radio {
+namespace {
+
+TEST(EndToEnd, CentralizedBeatsOrMatchesDistributedOnAverage) {
+  double centralized_total = 0, distributed_total = 0;
+  const int trials = 6;
+  const NodeId n = 1024;
+  const double ln_n = std::log(static_cast<double>(n));
+  const double d = ln_n * ln_n;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng = Rng::for_stream(1, static_cast<std::uint64_t>(trial));
+    const BroadcastInstance instance =
+        make_broadcast_instance(GnpParams::with_degree(n, d), rng);
+    const NodeId source = pick_source(instance.graph, rng);
+
+    const CentralizedResult built =
+        build_centralized_schedule(instance.graph, source, d, rng);
+    ASSERT_TRUE(built.report.completed);
+    centralized_total += built.report.total_rounds;
+
+    ElsasserGasieniecBroadcast protocol;
+    const BroadcastRun run = broadcast_with(
+        protocol, context_for(instance), instance.graph, source, rng,
+        static_cast<std::uint32_t>(80.0 * ln_n));
+    ASSERT_TRUE(run.completed);
+    distributed_total += run.rounds;
+  }
+  // Full topology knowledge can only help (asymptotically ln n/ln d + ln d
+  // vs ln n); allow 20% noise margin on small instances.
+  EXPECT_LE(centralized_total, distributed_total * 1.2);
+}
+
+TEST(EndToEnd, ScheduledProtocolAdapterMatchesDirectPlayback) {
+  Rng rng(2);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(512, 25.0), rng);
+  const NodeId source = 0;
+  const CentralizedResult built =
+      build_centralized_schedule(instance.graph, source, 25.0, rng);
+
+  // Path A: direct playback.
+  BroadcastSession direct(instance.graph, source);
+  const SchedulePlayback playback = play_schedule(built.schedule, direct);
+
+  // Path B: through the Protocol adapter and generic runner.
+  ScheduledProtocol protocol(built.schedule);
+  Rng run_rng(99);  // the adapter ignores randomness
+  BroadcastSession adapted(instance.graph, source);
+  const BroadcastRun run = run_protocol(
+      protocol, context_for(instance), adapted, run_rng,
+      static_cast<std::uint32_t>(built.schedule.length()));
+
+  EXPECT_EQ(playback.completed, run.completed);
+  EXPECT_EQ(playback.rounds_used, run.rounds);
+  EXPECT_EQ(direct.informed_count(), adapted.informed_count());
+  for (NodeId v = 0; v < instance.graph.num_nodes(); ++v)
+    EXPECT_EQ(direct.informed_round(v), adapted.informed_round(v));
+}
+
+TEST(EndToEnd, WholePipelineIsDeterministic) {
+  auto run_pipeline = [](std::uint64_t seed) {
+    Rng rng(seed);
+    const BroadcastInstance instance =
+        make_broadcast_instance(GnpParams::with_degree(512, 30.0), rng);
+    const CentralizedResult built =
+        build_centralized_schedule(instance.graph, 0, 30.0, rng);
+    ElsasserGasieniecBroadcast protocol;
+    const BroadcastRun run = broadcast_with(
+        protocol, context_for(instance), instance.graph, 0, rng, 500);
+    return std::make_tuple(instance.graph.num_edges(),
+                           built.report.total_rounds, run.rounds);
+  };
+  EXPECT_EQ(run_pipeline(1234), run_pipeline(1234));
+  EXPECT_NE(std::get<0>(run_pipeline(1)), std::get<0>(run_pipeline(2)));
+}
+
+TEST(EndToEnd, InformedRoundsFormValidBroadcastCausality) {
+  // Every informed node (except the source) must have a neighbor informed
+  // strictly earlier — the message physically travelled along edges.
+  Rng rng(3);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(1024, 45.0), rng);
+  ElsasserGasieniecBroadcast protocol;
+  BroadcastSession session(instance.graph, 5);
+  run_protocol(protocol, context_for(instance), session, rng, 600);
+  for (NodeId v = 0; v < instance.graph.num_nodes(); ++v) {
+    if (!session.informed(v) || v == session.source()) continue;
+    const std::uint32_t round = session.informed_round(v);
+    bool has_earlier_neighbor = false;
+    for (NodeId w : instance.graph.neighbors(v)) {
+      if (session.informed(w) && session.informed_round(w) < round) {
+        has_earlier_neighbor = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_earlier_neighbor) << "node " << v;
+  }
+}
+
+TEST(EndToEnd, DecayAndTheorem7BothCompleteSameInstance) {
+  Rng rng(4);
+  const NodeId n = 1024;
+  const double ln_n = std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+  const auto budget = static_cast<std::uint32_t>(100.0 * ln_n);
+
+  ElsasserGasieniecBroadcast eg;
+  Rng rng_a(10);
+  const BroadcastRun run_eg =
+      broadcast_with(eg, context_for(instance), instance.graph, 0, rng_a, budget);
+  DecayProtocol decay;
+  Rng rng_b(11);
+  const BroadcastRun run_decay = broadcast_with(
+      decay, context_for(instance), instance.graph, 0, rng_b, budget);
+
+  EXPECT_TRUE(run_eg.completed);
+  EXPECT_TRUE(run_decay.completed);
+}
+
+TEST(EndToEnd, GiantComponentFallbackStillBroadcastable) {
+  Rng rng(5);
+  // Below connectivity threshold: instance is the giant component.
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(1500, 4.0), rng);
+  ASSERT_TRUE(instance.giant_component);
+  DistributedOptions options;
+  options.tail_includes_late_informed = true;  // robust variant out of regime
+  ElsasserGasieniecBroadcast protocol(options);
+  ProtocolContext ctx = context_for(instance);
+  // Degree within the component is higher than p*n of the original graph;
+  // use the realized degree.
+  ctx.p = instance.realized_mean_degree / static_cast<double>(ctx.n);
+  const BroadcastRun run =
+      broadcast_with(protocol, ctx, instance.graph, 0, rng, 3000);
+  EXPECT_TRUE(run.completed);
+}
+
+}  // namespace
+}  // namespace radio

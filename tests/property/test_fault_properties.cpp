@@ -1,0 +1,106 @@
+// Fault-injection invariants across a scenario sweep: crashed nodes are
+// invisible to the channel, loss accounting balances, and faulted runs are
+// deterministic given the seed.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "graph/random_graph.hpp"
+#include "sim/faults.hpp"
+#include "sim/session.hpp"
+
+namespace radio {
+namespace {
+
+using FaultScenario = std::tuple<NodeId, double, double, double>;
+// n, p, crash fraction, loss
+
+class FaultGrid : public ::testing::TestWithParam<FaultScenario> {};
+
+TEST_P(FaultGrid, CrashedNodesNeverParticipate) {
+  const auto [n, p, crash, loss] = GetParam();
+  Rng rng(n * 17 + static_cast<std::uint64_t>(crash * 100));
+  const Graph g = generate_gnp({n, p}, rng);
+  SessionFaults faults = make_crash_faults(n, crash, 0, rng);
+  faults.loss = loss;
+  faults.seed = 5;
+  const Bitset crashed = faults.crashed;  // keep a copy; session consumes it
+  BroadcastSession session(g, 0, std::move(faults));
+
+  std::vector<NodeId> tx;
+  for (int round = 0; round < 30; ++round) {
+    tx.clear();
+    for (NodeId v = 0; v < n; ++v)
+      if (rng.bernoulli(0.1)) tx.push_back(v);  // includes crashed on purpose
+    const RoundStats& stats = session.step(tx);
+    std::uint32_t alive_tx = 0;
+    for (NodeId v : tx)
+      if (!crashed.test(v)) ++alive_tx;
+    ASSERT_EQ(stats.transmitters, alive_tx);
+    for (NodeId v = 0; v < n; ++v) {
+      if (crashed.test(v)) {
+        ASSERT_FALSE(session.informed(v));
+      }
+    }
+  }
+}
+
+TEST_P(FaultGrid, AccountingBalances) {
+  const auto [n, p, crash, loss] = GetParam();
+  Rng rng(n * 29 + static_cast<std::uint64_t>(loss * 100));
+  const Graph g = generate_gnp({n, p}, rng);
+  SessionFaults faults = make_crash_faults(n, crash, 0, rng);
+  faults.loss = loss;
+  faults.seed = 11;
+  BroadcastSession session(g, 0, std::move(faults));
+
+  std::vector<NodeId> tx;
+  std::uint64_t newly_total = 0;
+  for (int round = 0; round < 30; ++round) {
+    tx.clear();
+    for (NodeId v = 0; v < n; ++v)
+      if (session.informed(v) && rng.bernoulli(0.2)) tx.push_back(v);
+    const RoundStats& stats = session.step(tx);
+    newly_total += stats.newly_informed;
+    // informed_count == 1 (source) + everything delivered so far.
+    ASSERT_EQ(session.informed_count(), 1u + newly_total);
+    ASSERT_LE(session.informed_count(), session.alive_count());
+  }
+}
+
+TEST_P(FaultGrid, DeterministicGivenSeeds) {
+  const auto [n, p, crash, loss] = GetParam();
+  auto run_once = [&, n = n, p = p, crash = crash, loss = loss]() {
+    Rng rng(n * 43);
+    const Graph g = generate_gnp({n, p}, rng);
+    SessionFaults faults = make_crash_faults(n, crash, 0, rng);
+    faults.loss = loss;
+    faults.seed = 17;
+    BroadcastSession session(g, 0, std::move(faults));
+    std::vector<NodeId> tx;
+    for (int round = 0; round < 20; ++round) {
+      tx.clear();
+      for (NodeId v = 0; v < n; ++v)
+        if (session.informed(v) && rng.bernoulli(0.3)) tx.push_back(v);
+      session.step(tx);
+    }
+    return std::make_pair(session.informed_count(),
+                          session.lost_deliveries());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, FaultGrid,
+    ::testing::Values(FaultScenario{100, 0.1, 0.0, 0.0},
+                      FaultScenario{100, 0.1, 0.2, 0.0},
+                      FaultScenario{100, 0.1, 0.0, 0.3},
+                      FaultScenario{200, 0.05, 0.3, 0.3},
+                      FaultScenario{60, 0.4, 0.1, 0.1}),
+    [](const ::testing::TestParamInfo<FaultScenario>& info) {
+      return "case" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,136 @@
+// Cross-stack fuzz: random small graphs (including disconnected and extreme
+// densities), random protocol choices, random budgets — every run must
+// satisfy the global invariants regardless of regime. This is the safety
+// net that catches interactions no targeted test thinks of.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/centralized.hpp"
+#include "core/distributed.hpp"
+#include "core/tree_schedule.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/random_graph.hpp"
+#include "protocols/adaptive_backoff.hpp"
+#include "protocols/decay.hpp"
+#include "protocols/round_robin.hpp"
+#include "protocols/uniform_gossip.hpp"
+#include "sim/runner.hpp"
+
+namespace radio {
+namespace {
+
+// Mean degree without pulling in degree.hpp (keeps the fuzz file's
+// dependencies minimal).
+double degree_stats_mean(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) /
+         static_cast<double>(g.num_nodes());
+}
+
+std::unique_ptr<Protocol> random_protocol(Rng& rng) {
+  switch (rng.uniform_below(5)) {
+    case 0: {
+      DistributedOptions options;
+      options.tail_includes_late_informed = rng.bernoulli(0.5);
+      return std::make_unique<ElsasserGasieniecBroadcast>(options);
+    }
+    case 1:
+      return std::make_unique<DecayProtocol>();
+    case 2:
+      return std::make_unique<UniformGossipProtocol>();
+    case 3:
+      return std::make_unique<RoundRobinProtocol>();
+    default:
+      return std::make_unique<AdaptiveBackoffProtocol>();
+  }
+}
+
+TEST(FuzzStack, RandomRunsSatisfyGlobalInvariants) {
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    Rng rng = Rng::for_stream(0xF0'22, static_cast<std::uint64_t>(iteration));
+    const auto n = static_cast<NodeId>(8 + rng.uniform_below(120));
+    // Densities from empty-ish to near complete, connectivity NOT required.
+    const double p = rng.uniform() * rng.uniform();
+    const Graph g = generate_gnp({n, p}, rng);
+    const auto source = static_cast<NodeId>(rng.uniform_below(n));
+    const double d = std::max(1.5, degree_stats_mean(g));
+
+    ProtocolContext ctx{n, d / static_cast<double>(n)};
+    std::unique_ptr<Protocol> protocol = random_protocol(rng);
+    BroadcastSession session(g, source);
+    const auto budget =
+        static_cast<std::uint32_t>(1 + rng.uniform_below(400));
+    const BroadcastRun run =
+        run_protocol(*protocol, ctx, session, rng, budget);
+
+    // Invariant 1: run accounting.
+    ASSERT_LE(run.rounds, budget);
+    ASSERT_EQ(run.informed, session.informed_count());
+    ASSERT_EQ(run.completed, session.complete());
+    ASSERT_GE(session.informed_count(), 1u);
+
+    // Invariant 2: informed set is closed under reachability logic — every
+    // informed node is reachable from the source.
+    const std::vector<std::uint32_t> dist = bfs_distances(g, source);
+    for (NodeId v = 0; v < n; ++v) {
+      if (session.informed(v)) {
+        ASSERT_NE(dist[v], kUnreachable) << "informed unreachable node " << v;
+        ASSERT_GE(session.informed_round(v) + 0u, 0u);
+      }
+    }
+
+    // Invariant 3: causality — informed nodes (except the source) have an
+    // earlier-informed neighbor.
+    for (NodeId v = 0; v < n; ++v) {
+      if (!session.informed(v) || v == source) continue;
+      bool earlier = false;
+      for (NodeId w : g.neighbors(v)) {
+        if (session.informed(w) &&
+            session.informed_round(w) < session.informed_round(v)) {
+          earlier = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(earlier) << "acausal delivery at node " << v;
+    }
+
+    // Invariant 4: round history is self-consistent.
+    std::uint64_t running = 1;
+    for (const RoundStats& s : session.history()) {
+      running += s.newly_informed;
+      ASSERT_EQ(s.informed_total, running);
+    }
+  }
+}
+
+TEST(FuzzStack, BuildersNeverEmitIllegalSchedules) {
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    Rng rng = Rng::for_stream(0xB11D, static_cast<std::uint64_t>(iteration));
+    const auto n = static_cast<NodeId>(16 + rng.uniform_below(200));
+    const double p = 0.02 + rng.uniform() * 0.3;
+    Graph g = generate_gnp({n, p}, rng);
+    if (!is_connected(g)) g = largest_component_subgraph(g).graph;
+    if (g.num_nodes() < 2) continue;
+    const auto source =
+        static_cast<NodeId>(rng.uniform_below(g.num_nodes()));
+    const double d =
+        std::max(1.5, p * static_cast<double>(g.num_nodes()));
+
+    // Theorem-5 builder.
+    const CentralizedResult thm5 =
+        build_centralized_schedule(g, source, d, rng);
+    ASSERT_TRUE(schedule_is_legal(thm5.schedule, g, source));
+    ASSERT_TRUE(thm5.report.completed);
+
+    // Tree builder.
+    const TreeScheduleResult tree = build_tree_schedule(g, source);
+    ASSERT_TRUE(schedule_is_legal(tree.schedule, g, source));
+    ASSERT_TRUE(tree.report.completed);
+  }
+}
+
+}  // namespace
+}  // namespace radio

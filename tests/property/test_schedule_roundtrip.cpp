@@ -1,0 +1,85 @@
+// Schedule artifact pipeline properties across builder/parameter sweeps:
+// build → prune → serialize → parse must preserve broadcast semantics at
+// every step, for both schedule builders.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "core/tree_schedule.hpp"
+#include "sim/schedule_io.hpp"
+#include "sim/schedule_tools.hpp"
+
+namespace radio {
+namespace {
+
+using PipelineScenario = std::tuple<NodeId, double, int>;  // n, d, builder
+
+class SchedulePipeline : public ::testing::TestWithParam<PipelineScenario> {
+ protected:
+  Schedule build(const Graph& g, double d, Rng& rng) const {
+    if (std::get<2>(GetParam()) == 0)
+      return build_centralized_schedule(g, 0, d, rng).schedule;
+    return build_tree_schedule(g, 0).schedule;
+  }
+};
+
+TEST_P(SchedulePipeline, PruneSerializeParsePreservesSemantics) {
+  const auto [n, d, builder] = GetParam();
+  (void)builder;
+  Rng rng(n * 13 + static_cast<std::uint64_t>(d));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, d), rng);
+  const Graph& g = instance.graph;
+
+  const Schedule original = build(g, d, rng);
+  ASSERT_TRUE(schedule_is_legal(original, g, 0));
+
+  // Step 1: prune.
+  const PruneReport pruned = prune_schedule(original, g, 0);
+  EXPECT_TRUE(schedules_equivalent(original, pruned.schedule, g, 0));
+  EXPECT_TRUE(schedule_is_legal(pruned.schedule, g, 0));
+  EXPECT_LE(pruned.schedule.length(), original.length());
+
+  // Step 2: serialize + parse.
+  const auto parsed = schedule_from_text(schedule_to_text(pruned.schedule));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rounds, pruned.schedule.rounds);
+  EXPECT_EQ(parsed->phase_of, pruned.schedule.phase_of);
+  EXPECT_TRUE(schedules_equivalent(original, *parsed, g, 0));
+
+  // Step 3: the parsed artifact still completes the broadcast.
+  BroadcastSession session(g, 0);
+  play_schedule(*parsed, session);
+  EXPECT_TRUE(session.complete());
+}
+
+TEST_P(SchedulePipeline, PrunedScheduleEveryRoundProductive) {
+  const auto [n, d, builder] = GetParam();
+  (void)builder;
+  Rng rng(n * 101 + static_cast<std::uint64_t>(d));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, d), rng);
+  const Graph& g = instance.graph;
+  const PruneReport pruned = prune_schedule(build(g, d, rng), g, 0);
+  BroadcastSession session(g, 0);
+  for (const auto& round : pruned.schedule.rounds) {
+    const RoundStats& stats = session.step(round);
+    EXPECT_GT(stats.newly_informed, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Builders, SchedulePipeline,
+    ::testing::Combine(::testing::Values<NodeId>(256, 512),
+                       ::testing::Values(18.0, 48.0),
+                       ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<PipelineScenario>& info) {
+      return std::string(std::get<2>(info.param) == 0 ? "thm5" : "tree") +
+             "_n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+}  // namespace
+}  // namespace radio

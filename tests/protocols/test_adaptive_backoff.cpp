@@ -1,0 +1,164 @@
+// Adaptive backoff (collision-detection extension): update rules, gating,
+// convergence, completion without knowing p.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "protocols/adaptive_backoff.hpp"
+#include "sim/runner.hpp"
+
+namespace radio {
+namespace {
+
+TEST(AdaptiveBackoff, WantsObservations) {
+  AdaptiveBackoffProtocol protocol;
+  EXPECT_TRUE(protocol.wants_observations());
+  EXPECT_TRUE(protocol.is_distributed());
+}
+
+TEST(AdaptiveBackoff, InitialProbabilityClampedToCap) {
+  AdaptiveBackoffOptions options;
+  options.initial_probability = 1.0;
+  options.max_probability = 0.6;
+  AdaptiveBackoffProtocol protocol(options);
+  protocol.reset(ProtocolContext{16, 0.5});
+  for (NodeId v = 0; v < 16; ++v)
+    EXPECT_DOUBLE_EQ(protocol.probability_of(v), 0.6);
+}
+
+TEST(AdaptiveBackoff, CollisionHalvesAndSilenceRaises) {
+  AdaptiveBackoffOptions options;
+  options.use_decay_gate = false;  // every round is a learning round
+  AdaptiveBackoffProtocol protocol(options);
+  protocol.reset(ProtocolContext{4, 0.5});
+  const double q0 = protocol.probability_of(0);
+
+  std::vector<ChannelObservation> obs(4, ChannelObservation::kMessage);
+  obs[0] = ChannelObservation::kCollision;
+  obs[1] = ChannelObservation::kSilence;
+  obs[2] = ChannelObservation::kTransmitting;
+  protocol.observe(1, obs);
+
+  EXPECT_DOUBLE_EQ(protocol.probability_of(0), q0 * 0.5);
+  EXPECT_DOUBLE_EQ(protocol.probability_of(1),
+                   std::min(0.8, q0 * 1.15));
+  EXPECT_DOUBLE_EQ(protocol.probability_of(2), q0);  // transmitting: no change
+  EXPECT_DOUBLE_EQ(protocol.probability_of(3), q0);  // message: no change
+}
+
+TEST(AdaptiveBackoff, ProbabilityNeverLeavesBounds) {
+  AdaptiveBackoffOptions options;
+  options.use_decay_gate = false;
+  AdaptiveBackoffProtocol protocol(options);
+  const NodeId n = 8;
+  protocol.reset(ProtocolContext{n, 0.5});
+  std::vector<ChannelObservation> all_coll(n, ChannelObservation::kCollision);
+  std::vector<ChannelObservation> all_sil(n, ChannelObservation::kSilence);
+  for (int i = 0; i < 100; ++i) protocol.observe(1, all_coll);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_GE(protocol.probability_of(v), 1.0 / n);
+  for (int i = 0; i < 200; ++i) protocol.observe(1, all_sil);
+  for (NodeId v = 0; v < n; ++v)
+    EXPECT_LE(protocol.probability_of(v), 0.8);
+}
+
+TEST(AdaptiveBackoff, GateCyclesPowersOfTwo) {
+  AdaptiveBackoffProtocol protocol;
+  protocol.reset(ProtocolContext{1024, 0.1});  // log2 n = 10
+  EXPECT_DOUBLE_EQ(protocol.gate(1), 1.0);
+  EXPECT_DOUBLE_EQ(protocol.gate(2), 0.5);
+  EXPECT_DOUBLE_EQ(protocol.gate(10), std::pow(0.5, 9.0));
+  EXPECT_DOUBLE_EQ(protocol.gate(11), 1.0);  // cycle restarts
+}
+
+TEST(AdaptiveBackoff, GatedRoundsDoNotUpdate) {
+  AdaptiveBackoffProtocol protocol;
+  protocol.reset(ProtocolContext{1024, 0.1});
+  const double q0 = protocol.probability_of(0);
+  std::vector<ChannelObservation> obs(1024, ChannelObservation::kCollision);
+  protocol.observe(2, obs);  // round 2 is gated (j = 1)
+  EXPECT_DOUBLE_EQ(protocol.probability_of(0), q0);
+  protocol.observe(1, obs);  // round 1 is ungated
+  EXPECT_DOUBLE_EQ(protocol.probability_of(0), q0 * 0.5);
+}
+
+TEST(AdaptiveBackoff, GateDisabledIsAlwaysOne) {
+  AdaptiveBackoffOptions options;
+  options.use_decay_gate = false;
+  AdaptiveBackoffProtocol protocol(options);
+  protocol.reset(ProtocolContext{1024, 0.1});
+  for (std::uint32_t round = 1; round <= 15; ++round)
+    EXPECT_DOUBLE_EQ(protocol.gate(round), 1.0);
+}
+
+TEST(AdaptiveBackoff, OnlyInformedTransmit) {
+  Rng rng(1);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(128, 16.0), rng);
+  AdaptiveBackoffProtocol protocol;
+  protocol.reset(context_for(instance));
+  BroadcastSession session(instance.graph, 3);
+  std::vector<NodeId> out;
+  protocol.select_transmitters(1, session, rng, out);
+  for (NodeId v : out) EXPECT_TRUE(session.informed(v));
+}
+
+TEST(AdaptiveBackoff, CompletesOnGnpWithoutKnowingP) {
+  int completions = 0;
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng = Rng::for_stream(9, static_cast<std::uint64_t>(trial));
+    const NodeId n = 1024;
+    const double ln_n = std::log(static_cast<double>(n));
+    const BroadcastInstance instance =
+        make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+    AdaptiveBackoffProtocol protocol;
+    const BroadcastRun run = broadcast_with(
+        protocol, context_for(instance), instance.graph, 0, rng,
+        static_cast<std::uint32_t>(200.0 * ln_n));
+    completions += run.completed ? 1 : 0;
+  }
+  EXPECT_GE(completions, 5);
+}
+
+TEST(AdaptiveBackoff, ConvergesTowardSparseRates) {
+  // After a broadcast run on a dense-ish graph, the mean rate of informed
+  // nodes should sit far below the 0.8 cap (the channel taught them).
+  Rng rng(11);
+  const NodeId n = 1024;
+  const double ln_n = std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+  AdaptiveBackoffProtocol protocol;
+  BroadcastSession session(instance.graph, 0);
+  run_protocol(protocol, context_for(instance), session, rng,
+               static_cast<std::uint32_t>(200.0 * ln_n));
+  double sum = 0.0;
+  for (NodeId v = 0; v < n; ++v) sum += protocol.probability_of(v);
+  EXPECT_LT(sum / n, 0.4);
+}
+
+TEST(AdaptiveBackoffDeathTest, RejectsBadOptions) {
+  {
+    AdaptiveBackoffOptions options;
+    options.collision_factor = 1.5;
+    AdaptiveBackoffProtocol protocol(options);
+    EXPECT_DEATH(protocol.reset(ProtocolContext{16, 0.5}), "precondition");
+  }
+  {
+    AdaptiveBackoffOptions options;
+    options.silence_factor = 0.9;
+    AdaptiveBackoffProtocol protocol(options);
+    EXPECT_DEATH(protocol.reset(ProtocolContext{16, 0.5}), "precondition");
+  }
+  {
+    AdaptiveBackoffOptions options;
+    options.max_probability = 1.0;
+    AdaptiveBackoffProtocol protocol(options);
+    EXPECT_DEATH(protocol.reset(ProtocolContext{16, 0.5}), "precondition");
+  }
+}
+
+}  // namespace
+}  // namespace radio

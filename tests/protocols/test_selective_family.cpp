@@ -1,0 +1,124 @@
+// Strongly selective family construction and the deterministic protocol.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/workload.hpp"
+#include "protocols/selective_family.hpp"
+#include "sim/runner.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Primes, TrialDivision) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+  EXPECT_TRUE(is_prime(7919));
+}
+
+TEST(ModularFamily, RoundsUsePrimesInWindow) {
+  const ModularFamily family = build_modular_family(1024, 2);
+  ASSERT_FALSE(family.rounds.empty());
+  const double threshold = 2.0 * std::log(1024.0);
+  for (const auto& round : family.rounds) {
+    EXPECT_TRUE(is_prime(round.prime));
+    EXPECT_GT(static_cast<double>(round.prime), threshold);
+    EXPECT_LE(static_cast<double>(round.prime), 2.0 * std::ceil(threshold) + 2);
+    EXPECT_LT(round.residue, round.prime);
+  }
+}
+
+TEST(ModularFamily, EveryResidueOfEveryPrimeAppears) {
+  const ModularFamily family = build_modular_family(256, 2);
+  std::set<std::uint32_t> primes;
+  for (const auto& round : family.rounds) primes.insert(round.prime);
+  for (std::uint32_t q : primes) {
+    std::set<std::uint32_t> residues;
+    for (const auto& round : family.rounds)
+      if (round.prime == q) residues.insert(round.residue);
+    EXPECT_EQ(residues.size(), q);
+  }
+}
+
+TEST(ModularFamily, SelectsMatchesModulo) {
+  const ModularFamily::Round round{7, 3};
+  EXPECT_TRUE(ModularFamily::selects(round, 3));
+  EXPECT_TRUE(ModularFamily::selects(round, 10));
+  EXPECT_FALSE(ModularFamily::selects(round, 4));
+}
+
+TEST(ModularFamily, PairwiseSelectivity) {
+  // Strong 2-selectivity: for any pair u != v there is a round selecting u
+  // but not v. Check exhaustively on a modest universe.
+  const NodeId n = 200;
+  const ModularFamily family = build_modular_family(n, 2);
+  for (NodeId u = 0; u < n; u += 7) {
+    for (NodeId v = 1; v < n; v += 11) {
+      if (u == v) continue;
+      bool split = false;
+      for (const auto& round : family.rounds) {
+        if (ModularFamily::selects(round, u) &&
+            !ModularFamily::selects(round, v)) {
+          split = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(split) << "pair (" << u << ", " << v << ") never split";
+    }
+  }
+}
+
+TEST(SelectiveFamilyProtocol, CyclesThroughFamily) {
+  SelectiveFamilyProtocol protocol;
+  protocol.reset(ProtocolContext{256, 0.1});
+  EXPECT_GT(protocol.cycle_length(), 0u);
+}
+
+TEST(SelectiveFamilyProtocol, OnlyInformedMatchingNodesTransmit) {
+  Rng rng(1);
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  SelectiveFamilyProtocol protocol;
+  protocol.reset(ProtocolContext{4, 0.5});
+  BroadcastSession session(g, 0);
+  std::vector<NodeId> out;
+  protocol.select_transmitters(1, session, rng, out);
+  for (NodeId v : out) EXPECT_TRUE(session.informed(v));
+}
+
+TEST(SelectiveFamilyProtocol, CompletesOnGnp) {
+  Rng rng(2);
+  const NodeId n = 256;
+  const double ln_n = std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+  SelectiveFamilyProtocol protocol;
+  const BroadcastRun run = broadcast_with(
+      protocol, context_for(instance), instance.graph, 0, rng, 100000);
+  EXPECT_TRUE(run.completed);
+}
+
+TEST(SelectiveFamilyProtocol, DeterministicTransmitterChoice) {
+  Rng rng(3);
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  SelectiveFamilyProtocol a, b;
+  a.reset(ProtocolContext{3, 0.5});
+  b.reset(ProtocolContext{3, 0.5});
+  BroadcastSession session(g, 0);
+  for (std::uint32_t round = 1; round <= 20; ++round) {
+    std::vector<NodeId> out_a, out_b;
+    a.select_transmitters(round, session, rng, out_a);
+    b.select_transmitters(round, session, rng, out_b);
+    EXPECT_EQ(out_a, out_b);
+  }
+}
+
+}  // namespace
+}  // namespace radio

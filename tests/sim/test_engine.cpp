@@ -1,0 +1,152 @@
+// Radio engine: exact collision semantics of the paper's model (§1.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace radio {
+namespace {
+
+// Star: center 0 connected to leaves 1..4.
+Graph star() {
+  return Graph::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+}
+
+Bitset informed_set(NodeId n, std::initializer_list<NodeId> nodes) {
+  Bitset b(n);
+  for (NodeId v : nodes) b.set(v);
+  return b;
+}
+
+TEST(Engine, SingleTransmitterReachesAllNeighbors) {
+  const Graph g = star();
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(5, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_EQ(delivered, (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(outcome.collisions, 0u);
+  EXPECT_EQ(outcome.redundant, 0u);
+}
+
+TEST(Engine, TwoTransmittersCollideAtCommonNeighbor) {
+  // Path 1 - 0 - 2 plus 1-3, 2-4: transmitting {1, 2} jams node 0.
+  const Graph g = Graph::from_edges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 4}});
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(5, {1, 2});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {1, 2};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_EQ(outcome.collisions, 1u);  // node 0
+  EXPECT_EQ(delivered, (std::vector<NodeId>{3, 4}));  // private neighbors
+}
+
+TEST(Engine, TransmitterNeverReceives) {
+  // Edge 0-1, both transmit: neither receives (each is transmitting).
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(2, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0, 1};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(outcome.collisions, 0u);
+}
+
+TEST(Engine, UninformedTransmitterJamsButDeliversNothing) {
+  // 0 informed, 1 uninformed; both adjacent to 2. Transmitting {0, 1}:
+  // node 2 hears two transmitters -> collision, nothing delivered.
+  const Graph g = Graph::from_edges(3, {{0, 2}, {1, 2}});
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(3, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0, 1};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(outcome.collisions, 1u);
+}
+
+TEST(Engine, UninformedSoleTransmitterDeliversNothing) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(2, {});  // nobody informed
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0};
+  engine.step(tx, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+}
+
+TEST(Engine, RedundantDeliveryCounted) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(2, {0, 1});  // both already know
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(outcome.redundant, 1u);
+}
+
+TEST(Engine, EmptyTransmitterSetIsSilence) {
+  const Graph g = star();
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(5, {0});
+  std::vector<NodeId> delivered;
+  const auto outcome = engine.step({}, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(outcome.collisions, 0u);
+}
+
+TEST(Engine, ScratchStateResetsBetweenRounds) {
+  const Graph g = star();
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(5, {0, 1});
+  std::vector<NodeId> delivered;
+  // Round 1: 0 and 1 transmit; leaves 2,3,4 hear only 0 (1 is a leaf of 0,
+  // adjacent only to 0) -> delivered {2,3,4}; 0 itself transmitting.
+  std::vector<NodeId> tx = {0, 1};
+  engine.step(tx, informed, delivered);
+  EXPECT_EQ(delivered, (std::vector<NodeId>{2, 3, 4}));
+  // Round 2 with a fresh informed set must not see stale hit counts.
+  delivered.clear();
+  const Bitset informed2 = informed_set(5, {1});
+  tx = {1};
+  const auto outcome = engine.step(tx, informed2, delivered);
+  EXPECT_EQ(delivered, (std::vector<NodeId>{0}));
+  EXPECT_EQ(outcome.collisions, 0u);
+}
+
+TEST(Engine, ThreeTransmittersSaturatingCollision) {
+  // Node 3 adjacent to 0,1,2 all transmitting: still one collision event.
+  const Graph g = Graph::from_edges(4, {{0, 3}, {1, 3}, {2, 3}});
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(4, {0, 1, 2});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0, 1, 2};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_EQ(outcome.collisions, 1u);
+  EXPECT_TRUE(delivered.empty());
+}
+
+TEST(EngineDeathTest, DuplicateTransmitterRejected) {
+  const Graph g = star();
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(5, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0, 0};
+  EXPECT_DEATH(engine.step(tx, informed, delivered), "precondition");
+}
+
+TEST(EngineDeathTest, OutOfRangeTransmitterRejected) {
+  const Graph g = star();
+  RadioEngine engine(g);
+  const Bitset informed = informed_set(5, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {9};
+  EXPECT_DEATH(engine.step(tx, informed, delivered), "precondition");
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,137 @@
+// Multi-source broadcast sessions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "core/distributed.hpp"
+#include "sim/runner.hpp"
+#include "sim/session.hpp"
+
+namespace radio {
+namespace {
+
+Graph path(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  return Graph::from_edges(n, edges);
+}
+
+TEST(MultiSource, AllSourcesStartInformedAtRoundZero) {
+  const Graph g = path(6);
+  const std::vector<NodeId> sources = {0, 3, 5};
+  BroadcastSession session(g, sources);
+  EXPECT_EQ(session.informed_count(), 3u);
+  for (NodeId s : sources) {
+    EXPECT_TRUE(session.informed(s));
+    EXPECT_EQ(session.informed_round(s), 0u);
+  }
+  EXPECT_EQ(session.source(), 0u);  // first source reported
+}
+
+TEST(MultiSource, DuplicateSourcesCollapse) {
+  const Graph g = path(4);
+  const std::vector<NodeId> sources = {2, 2, 2};
+  BroadcastSession session(g, sources);
+  EXPECT_EQ(session.informed_count(), 1u);
+}
+
+TEST(MultiSource, SingleSourceSpanMatchesScalarConstructor) {
+  const Graph g = path(4);
+  const std::vector<NodeId> one = {1};
+  BroadcastSession a(g, one);
+  BroadcastSession b(g, NodeId{1});
+  EXPECT_EQ(a.informed_count(), b.informed_count());
+  EXPECT_EQ(a.source(), b.source());
+}
+
+TEST(MultiSource, TwoEndsOfPathMeetInMiddle) {
+  // Two fronts halve the broadcast time: 3 scheduled rounds instead of the
+  // 6 a single end needs. Note the final round transmits only node 2 — had
+  // both fronts kept flooding, node 3 would hear 2 and 4 collide forever.
+  const Graph g = path(7);
+  const std::vector<NodeId> sources = {0, 6};
+  BroadcastSession session(g, sources);
+  session.step(std::vector<NodeId>{0, 6});  // informs 1 and 5
+  session.step(std::vector<NodeId>{1, 5});  // informs 2 and 4 (3 hears nothing)
+  session.step(std::vector<NodeId>{2});     // informs 3
+  EXPECT_TRUE(session.complete());
+  EXPECT_EQ(session.current_round(), 3u);
+}
+
+TEST(MultiSource, TwoFloodingFrontsJamTheMeetingPoint) {
+  // The complementary fact: naive flooding from both ends wedges the middle
+  // node behind a permanent collision — multi-source does NOT trivialize
+  // the collision problem.
+  const Graph g = path(7);
+  const std::vector<NodeId> sources = {0, 6};
+  BroadcastSession session(g, sources);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<NodeId> tx;
+    for (NodeId v = 0; v < 7; ++v)
+      if (session.informed(v)) tx.push_back(v);
+    session.step(tx);
+  }
+  EXPECT_FALSE(session.informed(3));
+  EXPECT_EQ(session.informed_count(), 6u);
+}
+
+TEST(MultiSource, MoreSourcesNeverSlowTheorem7Materially) {
+  const NodeId n = 1024;
+  const double ln_n = std::log(static_cast<double>(n));
+  auto mean_rounds = [&](std::size_t k) {
+    double total = 0;
+    const int trials = 5;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng = Rng::for_stream(31 + k, static_cast<std::uint64_t>(trial));
+      const BroadcastInstance instance =
+          make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+      std::vector<NodeId> sources;
+      for (std::size_t i = 0; i < k; ++i)
+        sources.push_back(static_cast<NodeId>(
+            (i * instance.graph.num_nodes()) / k));
+      BroadcastSession session(instance.graph, sources);
+      ElsasserGasieniecBroadcast protocol;
+      const BroadcastRun run =
+          run_protocol(protocol, context_for(instance), session, rng,
+                       static_cast<std::uint32_t>(100.0 * ln_n));
+      EXPECT_TRUE(run.completed);
+      total += run.rounds;
+    }
+    return total / trials;
+  };
+  const double one = mean_rounds(1);
+  const double many = mean_rounds(32);
+  EXPECT_LE(many, one * 1.25);  // extra sources help or are neutral
+}
+
+TEST(MultiSource, WorksWithFaults) {
+  const Graph g = path(5);
+  SessionFaults faults;
+  faults.crashed = Bitset(5);
+  faults.crashed.set(4);
+  const std::vector<NodeId> sources = {0, 2};
+  BroadcastSession session(g, sources, faults);
+  EXPECT_EQ(session.alive_count(), 4u);
+  EXPECT_EQ(session.informed_count(), 2u);
+}
+
+TEST(MultiSourceDeathTest, EmptySourceListRejected) {
+  const Graph g = path(3);
+  const std::vector<NodeId> empty;
+  EXPECT_DEATH(BroadcastSession(g, std::span<const NodeId>(empty)),
+               "precondition");
+}
+
+TEST(MultiSourceDeathTest, CrashedSourceRejected) {
+  const Graph g = path(3);
+  SessionFaults faults;
+  faults.crashed = Bitset(3);
+  faults.crashed.set(1);
+  const std::vector<NodeId> sources = {0, 1};
+  EXPECT_DEATH(BroadcastSession(g, sources, faults), "precondition");
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,78 @@
+// Channel observations (collision-detection model extension).
+#include <gtest/gtest.h>
+
+#include "sim/session.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Observations, ClassifiesSilenceMessageCollisionTransmitting) {
+  // 0 - 2, 1 - 2, 0 - 3, plus isolated-ish 4 (edge 3 - 4 unused this round).
+  const Graph g = Graph::from_edges(5, {{0, 2}, {1, 2}, {0, 3}, {3, 4}});
+  BroadcastSession session(g, 0);
+  session.enable_observations();
+  const std::vector<NodeId> tx = {0, 1};
+  session.step(tx);
+  const auto obs = session.last_observations();
+  ASSERT_EQ(obs.size(), 5u);
+  EXPECT_EQ(obs[0], ChannelObservation::kTransmitting);
+  EXPECT_EQ(obs[1], ChannelObservation::kTransmitting);
+  EXPECT_EQ(obs[2], ChannelObservation::kCollision);  // hears 0 and 1
+  EXPECT_EQ(obs[3], ChannelObservation::kMessage);    // hears only 0
+  EXPECT_EQ(obs[4], ChannelObservation::kSilence);    // no transmitting nbr
+}
+
+TEST(Observations, MessageEvenFromUninformedTransmitter) {
+  // Carrier sensing hears a transmission regardless of content: 1 is
+  // uninformed but transmits; 2 observes kMessage yet learns nothing.
+  const Graph g = Graph::from_edges(3, {{1, 2}, {0, 2}});
+  BroadcastSession session(g, 0);
+  session.enable_observations();
+  session.step(std::vector<NodeId>{1});
+  EXPECT_EQ(session.last_observations()[2], ChannelObservation::kMessage);
+  EXPECT_FALSE(session.informed(2));
+}
+
+TEST(Observations, ResetBetweenRounds) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  BroadcastSession session(g, 0);
+  session.enable_observations();
+  session.step(std::vector<NodeId>{0});
+  EXPECT_EQ(session.last_observations()[1], ChannelObservation::kMessage);
+  // Silent round: everything must read silence again, including the former
+  // transmitter.
+  session.step(std::vector<NodeId>{});
+  for (NodeId v = 0; v < 3; ++v)
+    EXPECT_EQ(session.last_observations()[v], ChannelObservation::kSilence);
+}
+
+TEST(Observations, TransmitterFlagOverridesReception) {
+  // Both endpoints transmit: each would "hear" the other, but transmitters
+  // observe kTransmitting.
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  BroadcastSession session(g, 0);
+  session.enable_observations();
+  const std::vector<NodeId> tx = {0, 1};
+  session.step(tx);
+  EXPECT_EQ(session.last_observations()[0], ChannelObservation::kTransmitting);
+  EXPECT_EQ(session.last_observations()[1], ChannelObservation::kTransmitting);
+}
+
+TEST(Observations, DisabledByDefaultCostsNothing) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  BroadcastSession session(g, 0);
+  session.step(std::vector<NodeId>{0});
+  EXPECT_TRUE(session.last_observations().empty());
+}
+
+TEST(Observations, ThreeWayCollision) {
+  const Graph g = Graph::from_edges(4, {{0, 3}, {1, 3}, {2, 3}});
+  BroadcastSession session(g, 0);
+  session.enable_observations();
+  const std::vector<NodeId> tx = {0, 1, 2};
+  session.step(tx);
+  EXPECT_EQ(session.last_observations()[3], ChannelObservation::kCollision);
+}
+
+}  // namespace
+}  // namespace radio

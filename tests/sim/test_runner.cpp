@@ -1,0 +1,92 @@
+// Protocol runner: budgets, early stop, stats aggregation.
+#include <gtest/gtest.h>
+
+#include "sim/runner.hpp"
+
+namespace radio {
+namespace {
+
+Graph path4() { return Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+/// Deterministic test protocol: frontier node transmits alone each round.
+class FrontierProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "frontier"; }
+  bool is_distributed() const override { return false; }
+  void reset(const ProtocolContext&) override { resets_++; }
+  void select_transmitters(std::uint32_t round, const BroadcastSession&,
+                           Rng&, std::vector<NodeId>& out) override {
+    out.push_back(static_cast<NodeId>(round - 1));
+  }
+  int resets_ = 0;
+};
+
+/// Protocol that never transmits.
+class SilentProtocol final : public Protocol {
+ public:
+  std::string name() const override { return "silent"; }
+  bool is_distributed() const override { return true; }
+  void reset(const ProtocolContext&) override {}
+  void select_transmitters(std::uint32_t, const BroadcastSession&, Rng&,
+                           std::vector<NodeId>&) override {}
+};
+
+TEST(Runner, CompletesAndStopsEarly) {
+  const Graph g = path4();
+  FrontierProtocol protocol;
+  Rng rng(1);
+  BroadcastSession session(g, 0);
+  const BroadcastRun run =
+      run_protocol(protocol, ProtocolContext{4, 0.5}, session, rng, 100);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.rounds, 3u);
+  EXPECT_EQ(run.transmissions, 3u);
+  EXPECT_EQ(run.informed, 4u);
+  EXPECT_EQ(protocol.resets_, 1);
+}
+
+TEST(Runner, RespectsBudget) {
+  const Graph g = path4();
+  SilentProtocol protocol;
+  Rng rng(2);
+  BroadcastSession session(g, 0);
+  const BroadcastRun run =
+      run_protocol(protocol, ProtocolContext{4, 0.5}, session, rng, 7);
+  EXPECT_FALSE(run.completed);
+  EXPECT_EQ(run.rounds, 7u);
+  EXPECT_EQ(run.informed, 1u);
+}
+
+TEST(Runner, BroadcastWithConvenienceMatchesManualSession) {
+  const Graph g = path4();
+  FrontierProtocol protocol;
+  Rng rng(3);
+  const BroadcastRun run =
+      broadcast_with(protocol, ProtocolContext{4, 0.5}, g, 0, rng, 100);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.rounds, 3u);
+}
+
+TEST(Runner, AlreadyCompleteSessionUsesZeroRounds) {
+  const Graph g = Graph::from_edges(1, {});
+  SilentProtocol protocol;
+  Rng rng(4);
+  BroadcastSession session(g, 0);
+  const BroadcastRun run =
+      run_protocol(protocol, ProtocolContext{1, 0.5}, session, rng, 10);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.rounds, 0u);
+}
+
+TEST(RunnerDeathTest, ZeroBudgetRejected) {
+  const Graph g = path4();
+  SilentProtocol protocol;
+  Rng rng(5);
+  BroadcastSession session(g, 0);
+  EXPECT_DEATH(
+      run_protocol(protocol, ProtocolContext{4, 0.5}, session, rng, 0),
+      "precondition");
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,102 @@
+// Schedules: playback, early stop, legality checking, violation counting.
+#include <gtest/gtest.h>
+
+#include "sim/schedule.hpp"
+#include "sim/session.hpp"
+
+namespace radio {
+namespace {
+
+Graph path4() { return Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+Schedule pipeline_schedule() {
+  Schedule s;
+  s.rounds = {{0}, {1}, {2}};
+  s.phase_of = {"a", "a", "b"};
+  return s;
+}
+
+TEST(Schedule, TotalTransmissions) {
+  const Schedule s = pipeline_schedule();
+  EXPECT_EQ(s.length(), 3u);
+  EXPECT_EQ(s.total_transmissions(), 3u);
+}
+
+TEST(Schedule, PlaybackCompletesPath) {
+  const Graph g = path4();
+  BroadcastSession session(g, 0);
+  const SchedulePlayback playback = play_schedule(pipeline_schedule(), session);
+  EXPECT_TRUE(playback.completed);
+  EXPECT_EQ(playback.rounds_used, 3u);
+  EXPECT_EQ(playback.protocol_violations, 0u);
+  EXPECT_EQ(playback.collisions, 0u);
+}
+
+TEST(Schedule, PlaybackStopsEarlyWhenComplete) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  Schedule s;
+  s.rounds = {{0}, {1}, {0}};
+  BroadcastSession session(g, 0);
+  const SchedulePlayback playback = play_schedule(s, session);
+  EXPECT_TRUE(playback.completed);
+  EXPECT_EQ(playback.rounds_used, 1u);  // complete after round 1
+}
+
+TEST(Schedule, PlaybackCanRunFullLength) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  Schedule s;
+  s.rounds = {{0}, {1}, {0}};
+  BroadcastSession session(g, 0);
+  const SchedulePlayback playback =
+      play_schedule(s, session, /*stop_when_complete=*/false);
+  EXPECT_EQ(playback.rounds_used, 3u);
+}
+
+TEST(Schedule, ViolationsCounted) {
+  const Graph g = path4();
+  Schedule s;
+  s.rounds = {{2}, {0}};  // node 2 transmits before knowing the message
+  BroadcastSession session(g, 0);
+  const SchedulePlayback playback = play_schedule(s, session);
+  EXPECT_EQ(playback.protocol_violations, 1u);
+}
+
+TEST(Schedule, LegalityAcceptsPipeline) {
+  EXPECT_TRUE(schedule_is_legal(pipeline_schedule(), path4(), 0));
+}
+
+TEST(Schedule, LegalityRejectsEarlyTransmitter) {
+  Schedule s;
+  s.rounds = {{1}};  // 1 not informed at round 1 when source is 0
+  EXPECT_FALSE(schedule_is_legal(s, path4(), 0));
+}
+
+TEST(Schedule, LegalityDependsOnSource) {
+  Schedule s;
+  s.rounds = {{1}, {0}, {2}};
+  EXPECT_FALSE(schedule_is_legal(s, path4(), 0));
+  EXPECT_TRUE(schedule_is_legal(s, path4(), 1));
+}
+
+TEST(Schedule, EmptyScheduleIsLegalAndIncomplete) {
+  const Schedule s;
+  EXPECT_TRUE(schedule_is_legal(s, path4(), 0));
+  BroadcastSession session(path4(), 0);
+  const SchedulePlayback playback = play_schedule(s, session);
+  EXPECT_FALSE(playback.completed);
+  EXPECT_EQ(playback.rounds_used, 0u);
+}
+
+TEST(Schedule, CollisionsReportedDuringPlayback) {
+  // 0 and 2 adjacent to 1; schedule both to transmit round 2.
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  Schedule s;
+  s.rounds = {{0}, {0, 2}};
+  BroadcastSession session(g, 0);
+  const SchedulePlayback playback =
+      play_schedule(s, session, /*stop_when_complete=*/false);
+  EXPECT_EQ(playback.collisions, 1u);  // node 1 jammed in round 2
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,91 @@
+// Schedule serialization: text round-trips, error handling, file helpers.
+#include <gtest/gtest.h>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "sim/schedule_io.hpp"
+#include "sim/schedule_tools.hpp"
+
+namespace radio {
+namespace {
+
+Schedule sample_schedule() {
+  Schedule s;
+  s.rounds = {{0}, {1, 2}, {}};
+  s.phase_of = {"phase1:parity", "phase2:selective", ""};
+  return s;
+}
+
+TEST(ScheduleIo, TextRoundTrip) {
+  const Schedule original = sample_schedule();
+  const std::string text = schedule_to_text(original);
+  const auto parsed = schedule_from_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rounds, original.rounds);
+  EXPECT_EQ(parsed->phase_of, original.phase_of);
+}
+
+TEST(ScheduleIo, EmptyScheduleRoundTrip) {
+  const Schedule empty;
+  const auto parsed = schedule_from_text(schedule_to_text(empty));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rounds.size(), 0u);
+}
+
+TEST(ScheduleIo, MissingPhaseLabelSerializedAsDash) {
+  const std::string text = schedule_to_text(sample_schedule());
+  EXPECT_NE(text.find("round 2 - 0"), std::string::npos);
+}
+
+TEST(ScheduleIo, RejectsWrongMagic) {
+  EXPECT_FALSE(schedule_from_text("bogus v1\nrounds 0\n").has_value());
+  EXPECT_FALSE(schedule_from_text("radio-schedule v2\nrounds 0\n").has_value());
+  EXPECT_FALSE(schedule_from_text("").has_value());
+}
+
+TEST(ScheduleIo, RejectsTruncatedRound) {
+  // Claims 2 transmitters, provides 1.
+  const std::string text =
+      "radio-schedule v1\nrounds 1\nround 0 phase 2 5\n";
+  EXPECT_FALSE(schedule_from_text(text).has_value());
+}
+
+TEST(ScheduleIo, RejectsRoundIndexMismatch) {
+  const std::string text =
+      "radio-schedule v1\nrounds 1\nround 3 phase 1 5\n";
+  EXPECT_FALSE(schedule_from_text(text).has_value());
+}
+
+TEST(ScheduleIo, RejectsMissingRounds) {
+  const std::string text = "radio-schedule v1\nrounds 2\nround 0 p 0\n";
+  EXPECT_FALSE(schedule_from_text(text).has_value());
+}
+
+TEST(ScheduleIo, FileRoundTrip) {
+  const Schedule original = sample_schedule();
+  const std::string path = ::testing::TempDir() + "/radio_schedule_test.txt";
+  ASSERT_TRUE(save_schedule(original, path));
+  const auto loaded = load_schedule(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->rounds, original.rounds);
+}
+
+TEST(ScheduleIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_schedule("/nonexistent_zzz/schedule.txt").has_value());
+}
+
+TEST(ScheduleIo, BuiltScheduleSurvivesRoundTripEquivalently) {
+  Rng rng(1);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(512, 25.0), rng);
+  const CentralizedResult built =
+      build_centralized_schedule(instance.graph, 0, 25.0, rng);
+  const auto parsed = schedule_from_text(schedule_to_text(built.schedule));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(
+      schedules_equivalent(built.schedule, *parsed, instance.graph, 0));
+  EXPECT_EQ(parsed->phase_of, built.schedule.phase_of);
+}
+
+}  // namespace
+}  // namespace radio

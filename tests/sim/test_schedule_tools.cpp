@@ -1,0 +1,91 @@
+// Schedule pruning: soundness (same final informed set), effectiveness.
+#include <gtest/gtest.h>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "sim/schedule_tools.hpp"
+#include "sim/session.hpp"
+
+namespace radio {
+namespace {
+
+Graph path(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  return Graph::from_edges(n, edges);
+}
+
+TEST(Prune, RemovesEmptyAndUselessRounds) {
+  const Graph g = path(3);
+  Schedule s;
+  // Round 2 is empty; round 3 re-transmits 0 (informs nobody new).
+  s.rounds = {{0}, {}, {0}, {1}};
+  s.phase_of = {"a", "b", "c", "d"};
+  const PruneReport report = prune_schedule(s, g, 0);
+  EXPECT_EQ(report.removed_rounds, 2u);
+  EXPECT_EQ(report.removed_transmissions, 1u);
+  ASSERT_EQ(report.schedule.rounds.size(), 2u);
+  EXPECT_EQ(report.schedule.rounds[0], std::vector<NodeId>{0});
+  EXPECT_EQ(report.schedule.rounds[1], std::vector<NodeId>{1});
+  EXPECT_EQ(report.schedule.phase_of,
+            (std::vector<std::string>{"a", "d"}));
+}
+
+TEST(Prune, KeepsProductiveScheduleIntact) {
+  const Graph g = path(4);
+  Schedule s;
+  s.rounds = {{0}, {1}, {2}};
+  const PruneReport report = prune_schedule(s, g, 0);
+  EXPECT_EQ(report.removed_rounds, 0u);
+  EXPECT_EQ(report.schedule.rounds.size(), 3u);
+}
+
+TEST(Prune, PreservesFinalInformedSet) {
+  Rng rng(1);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(512, 24.0), rng);
+  const CentralizedResult built =
+      build_centralized_schedule(instance.graph, 0, 24.0, rng);
+  const PruneReport report =
+      prune_schedule(built.schedule, instance.graph, 0);
+  EXPECT_TRUE(schedules_equivalent(built.schedule, report.schedule,
+                                   instance.graph, 0));
+  // Pruned schedule must still complete the broadcast.
+  BroadcastSession session(instance.graph, 0);
+  play_schedule(report.schedule, session);
+  EXPECT_TRUE(session.complete());
+}
+
+TEST(Prune, IdempotentOnPrunedSchedule) {
+  Rng rng(2);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(256, 20.0), rng);
+  const CentralizedResult built =
+      build_centralized_schedule(instance.graph, 0, 20.0, rng);
+  const PruneReport once = prune_schedule(built.schedule, instance.graph, 0);
+  const PruneReport twice =
+      prune_schedule(once.schedule, instance.graph, 0);
+  EXPECT_EQ(twice.removed_rounds, 0u);
+  EXPECT_EQ(twice.schedule.rounds, once.schedule.rounds);
+}
+
+TEST(Prune, EmptyScheduleIsNoop) {
+  const Graph g = path(2);
+  const PruneReport report = prune_schedule(Schedule{}, g, 0);
+  EXPECT_EQ(report.removed_rounds, 0u);
+  EXPECT_TRUE(report.schedule.rounds.empty());
+}
+
+TEST(Equivalence, DetectsDifferentOutcomes) {
+  const Graph g = path(3);
+  Schedule a;
+  a.rounds = {{0}, {1}};  // informs all
+  Schedule b;
+  b.rounds = {{0}};  // informs only node 1
+  EXPECT_FALSE(schedules_equivalent(a, b, g, 0));
+  EXPECT_TRUE(schedules_equivalent(a, a, g, 0));
+}
+
+}  // namespace
+}  // namespace radio

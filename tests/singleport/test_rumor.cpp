@@ -1,0 +1,121 @@
+// Single-port rumor spreading (Feige et al. comparison model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/workload.hpp"
+#include "singleport/rumor.hpp"
+
+namespace radio {
+namespace {
+
+Graph path(NodeId n) {
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v)
+    edges.push_back({v, static_cast<NodeId>(v + 1)});
+  return Graph::from_edges(n, edges);
+}
+
+TEST(Rumor, ModeNames) {
+  EXPECT_STREQ(rumor_mode_name(RumorMode::kPush), "push");
+  EXPECT_STREQ(rumor_mode_name(RumorMode::kPull), "pull");
+  EXPECT_STREQ(rumor_mode_name(RumorMode::kPushPull), "push-pull");
+}
+
+TEST(Rumor, TwoNodePushCompletesInOneRound) {
+  Rng rng(1);
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  const RumorRun run = spread_rumor(g, 0, RumorMode::kPush, rng, 10);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.rounds, 1u);
+}
+
+TEST(Rumor, PushOnPathTakesLinearTime) {
+  Rng rng(2);
+  const NodeId n = 16;
+  const RumorRun run = spread_rumor(path(n), 0, RumorMode::kPush, rng, 1000);
+  EXPECT_TRUE(run.completed);
+  EXPECT_GE(run.rounds, n - 1);  // each hop must be pushed in order
+}
+
+TEST(Rumor, PushCompletesInLogRoundsOnGnp) {
+  Rng rng(3);
+  const NodeId n = 2048;
+  const double ln_n = std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+  const RumorRun run = spread_rumor(instance.graph, 0, RumorMode::kPush, rng,
+                                    static_cast<std::uint32_t>(40.0 * ln_n));
+  EXPECT_TRUE(run.completed);
+  // Feige et al.: O(log n); allow constant 8.
+  EXPECT_LE(static_cast<double>(run.rounds), 8.0 * ln_n);
+}
+
+TEST(Rumor, PushPullNoSlowerThanPush) {
+  const NodeId n = 1024;
+  const double ln_n = std::log(static_cast<double>(n));
+  double push_total = 0, pushpull_total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng = Rng::for_stream(4, static_cast<std::uint64_t>(trial));
+    const BroadcastInstance instance =
+        make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+    Rng a = Rng::for_stream(5, static_cast<std::uint64_t>(trial));
+    Rng b = Rng::for_stream(6, static_cast<std::uint64_t>(trial));
+    push_total += spread_rumor(instance.graph, 0, RumorMode::kPush, a, 2000).rounds;
+    pushpull_total +=
+        spread_rumor(instance.graph, 0, RumorMode::kPushPull, b, 2000).rounds;
+  }
+  EXPECT_LE(pushpull_total, push_total + 2.0);
+}
+
+TEST(Rumor, PullCompletesOnGnp) {
+  Rng rng(7);
+  const NodeId n = 1024;
+  const double ln_n = std::log(static_cast<double>(n));
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(n, ln_n * ln_n), rng);
+  const RumorRun run = spread_rumor(instance.graph, 0, RumorMode::kPull, rng,
+                                    static_cast<std::uint32_t>(60.0 * ln_n));
+  EXPECT_TRUE(run.completed);
+}
+
+TEST(Rumor, BudgetExhaustionReportsPartialProgress) {
+  Rng rng(8);
+  const RumorRun run = spread_rumor(path(50), 0, RumorMode::kPush, rng, 3);
+  EXPECT_FALSE(run.completed);
+  EXPECT_EQ(run.rounds, 3u);
+  EXPECT_GE(run.informed, 1u);
+  EXPECT_LE(run.informed, 4u);
+}
+
+TEST(Rumor, MessageCountsAccumulate) {
+  Rng rng(9);
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  const RumorRun run = spread_rumor(g, 0, RumorMode::kPushPull, rng, 10);
+  EXPECT_TRUE(run.completed);
+  // Round 1: informed 0 pushes, uninformed 1 pulls -> 2 contacts.
+  EXPECT_EQ(run.messages, 2u);
+}
+
+TEST(Rumor, SynchronousSemantics) {
+  // A node informed in round t must not push in round t: on a path 0-1-2,
+  // push cannot complete in 1 round.
+  int completed_in_one = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Rng rng = Rng::for_stream(10, static_cast<std::uint64_t>(trial));
+    const RumorRun run = spread_rumor(path(3), 0, RumorMode::kPush, rng, 1);
+    completed_in_one += run.completed ? 1 : 0;
+  }
+  EXPECT_EQ(completed_in_one, 0);
+}
+
+TEST(Rumor, IsolatedNodeNeverInformed) {
+  const Graph g = Graph::from_edges(3, {{0, 1}});
+  Rng rng(11);
+  const RumorRun run = spread_rumor(g, 0, RumorMode::kPushPull, rng, 100);
+  EXPECT_FALSE(run.completed);
+  EXPECT_EQ(run.informed, 2u);
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,34 @@
+// End-to-end smoke: one tiny broadcast through every major subsystem.
+#include <gtest/gtest.h>
+
+#include "analysis/workload.hpp"
+#include "core/centralized.hpp"
+#include "core/distributed.hpp"
+#include "sim/runner.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Smoke, DistributedBroadcastCompletesOnSmallGnp) {
+  Rng rng(1);
+  const GnpParams params = GnpParams::with_degree(256, 24.0);
+  const BroadcastInstance instance = make_broadcast_instance(params, rng);
+  ElsasserGasieniecBroadcast protocol;
+  const BroadcastRun run = broadcast_with(protocol, context_for(instance),
+                                          instance.graph, 0, rng, 500);
+  EXPECT_TRUE(run.completed);
+  EXPECT_GT(run.rounds, 0u);
+}
+
+TEST(Smoke, CentralizedScheduleCompletesAndIsLegal) {
+  Rng rng(2);
+  const GnpParams params = GnpParams::with_degree(256, 24.0);
+  const BroadcastInstance instance = make_broadcast_instance(params, rng);
+  const CentralizedResult built =
+      build_centralized_schedule(instance.graph, 0, 24.0, rng);
+  EXPECT_TRUE(built.report.completed);
+  EXPECT_TRUE(schedule_is_legal(built.schedule, instance.graph, 0));
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,36 @@
+// Contract macros: violations abort with a diagnosable message; satisfied
+// contracts are free of side effects.
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace radio {
+namespace {
+
+TEST(ContractsDeathTest, ExpectsAbortsWithLocation) {
+  EXPECT_DEATH(RADIO_EXPECTS(1 == 2), "precondition violated");
+  EXPECT_DEATH(RADIO_EXPECTS(false), "test_assert");  // file name in message
+}
+
+TEST(ContractsDeathTest, EnsuresAbortsWithKind) {
+  EXPECT_DEATH(RADIO_ENSURES(false), "postcondition violated");
+}
+
+TEST(Contracts, SatisfiedContractsPass) {
+  int evaluations = 0;
+  RADIO_EXPECTS(++evaluations == 1);
+  RADIO_ENSURES(++evaluations == 2);
+  EXPECT_EQ(evaluations, 2);  // each condition evaluated exactly once
+}
+
+TEST(Contracts, UsableInsideExpressionsViaStatementForm) {
+  // The macros are statements (do-while), so they sequence correctly in
+  // branches without braces.
+  bool reached = false;
+  if (true) RADIO_EXPECTS(true);
+  reached = true;
+  EXPECT_TRUE(reached);
+}
+
+}  // namespace
+}  // namespace radio

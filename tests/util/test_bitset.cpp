@@ -1,0 +1,163 @@
+// Bitset: word-boundary behaviour, counting, collection, and the
+// set_if_clear primitive the simulator relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Bitset, StartsAllClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.all());
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(Bitset, SetAndTest) {
+  Bitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_FALSE(b.test(62));
+  EXPECT_FALSE(b.test(65));
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(Bitset, ResetClearsBit) {
+  Bitset b(70);
+  b.set(65);
+  EXPECT_TRUE(b.test(65));
+  b.reset(65);
+  EXPECT_FALSE(b.test(65));
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, SetIfClearReportsTransitions) {
+  Bitset b(10);
+  EXPECT_TRUE(b.set_if_clear(3));
+  EXPECT_FALSE(b.set_if_clear(3));
+  EXPECT_TRUE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Bitset, ClearAll) {
+  Bitset b(200);
+  for (std::size_t i = 0; i < 200; i += 3) b.set(i);
+  EXPECT_GT(b.count(), 0u);
+  b.clear_all();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, AllDetectsFullSetAcrossWordBoundary) {
+  for (std::size_t n : {1, 63, 64, 65, 128, 130}) {
+    Bitset b(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) b.set(i);
+    EXPECT_FALSE(b.all()) << "n=" << n;
+    b.set(n - 1);
+    EXPECT_TRUE(b.all()) << "n=" << n;
+  }
+}
+
+TEST(Bitset, AllOnEmptyBitsetIsTrue) {
+  Bitset b(0);
+  EXPECT_TRUE(b.all());
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Bitset, CollectReturnsAscendingIndices) {
+  Bitset b(150);
+  const std::vector<std::uint32_t> expected = {0, 5, 63, 64, 127, 149};
+  for (auto i : expected) b.set(i);
+  std::vector<std::uint32_t> collected;
+  b.collect(collected);
+  EXPECT_EQ(collected, expected);
+}
+
+TEST(Bitset, CollectAppendsToExistingVector) {
+  Bitset b(10);
+  b.set(4);
+  std::vector<std::uint32_t> out = {99};
+  b.collect(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 99u);
+  EXPECT_EQ(out[1], 4u);
+}
+
+TEST(Bitset, FindFirstClear) {
+  Bitset b(70);
+  EXPECT_EQ(b.find_first_clear(), 0u);
+  b.set(0);
+  EXPECT_EQ(b.find_first_clear(), 1u);
+  for (std::size_t i = 0; i < 66; ++i) b.set(i);
+  EXPECT_EQ(b.find_first_clear(), 66u);
+  for (std::size_t i = 66; i < 70; ++i) b.set(i);
+  EXPECT_EQ(b.find_first_clear(), 70u);  // == size: none clear
+}
+
+TEST(Bitset, EqualityComparesContents) {
+  Bitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bitset, SetUnionMergesAndCountsGains) {
+  Bitset a(130), b(130);
+  a.set(0);
+  a.set(64);
+  b.set(64);
+  b.set(65);
+  b.set(129);
+  EXPECT_EQ(a.set_union(b), 2u);  // gains 65 and 129; 64 already set
+  EXPECT_TRUE(a.test(0));
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(65));
+  EXPECT_TRUE(a.test(129));
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(Bitset, SetUnionWithSelfGainsNothing) {
+  Bitset a(70);
+  a.set(3);
+  a.set(69);
+  EXPECT_EQ(a.set_union(a), 0u);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Bitset, SetUnionWithEmptyOperands) {
+  Bitset a(10), b(10);
+  EXPECT_EQ(a.set_union(b), 0u);
+  b.set(9);
+  EXPECT_EQ(a.set_union(b), 1u);
+}
+
+TEST(BitsetDeathTest, SetUnionSizeMismatchRejected) {
+  Bitset a(10), b(11);
+  EXPECT_DEATH(a.set_union(b), "precondition");
+}
+
+TEST(Bitset, CountMatchesManualTallyOnPattern) {
+  Bitset b(1000);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 1000; i += 7) {
+    b.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(b.count(), expected);
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,79 @@
+// CLI parsing for the example binaries.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace radio {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const CliArgs args = parse({"--n=42", "--p=0.5"});
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceSyntax) {
+  const CliArgs args = parse({"--n", "7"});
+  EXPECT_EQ(args.get_int("n", 0), 7);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const CliArgs args = parse({"--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const CliArgs args = parse({});
+  EXPECT_EQ(args.get_int("n", 123), 123);
+  EXPECT_EQ(args.get_uint("m", 9u), 9u);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.25), 0.25);
+  EXPECT_EQ(args.get_string("s", "dft"), "dft");
+  EXPECT_FALSE(args.get_bool("b", false));
+}
+
+TEST(Cli, BoolValueForms) {
+  const CliArgs args = parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Cli, HasReportsPresence) {
+  const CliArgs args = parse({"--x=1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(Cli, NonFlagArgumentThrows) {
+  EXPECT_THROW(parse({"positional"}), std::runtime_error);
+}
+
+TEST(Cli, ValidateRejectsUnknownFlags) {
+  const CliArgs args = parse({"--known=1", "--typo=2"});
+  (void)args.get_int("known", 0);
+  EXPECT_THROW(args.validate(), std::runtime_error);
+}
+
+TEST(Cli, ValidatePassesWhenAllConsumed) {
+  const CliArgs args = parse({"--a=1", "--b=2"});
+  (void)args.get_int("a", 0);
+  (void)args.get_int("b", 0);
+  EXPECT_NO_THROW(args.validate());
+}
+
+TEST(Cli, NegativeNumberAsSeparateValue) {
+  const CliArgs args = parse({"--delta", "-5"});
+  EXPECT_EQ(args.get_int("delta", 0), -5);
+}
+
+}  // namespace
+}  // namespace radio

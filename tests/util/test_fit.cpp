@@ -1,0 +1,123 @@
+// Least-squares fits: dense solve, line fits, and the Theorem-5 model fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/fit.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+namespace {
+
+TEST(SolveDense, Identity) {
+  const std::vector<double> a = {1, 0, 0, 1};
+  const std::vector<double> b = {3, 4};
+  const std::vector<double> x = solve_dense(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 4.0, 1e-12);
+}
+
+TEST(SolveDense, TwoByTwo) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3
+  const std::vector<double> a = {2, 1, 1, 3};
+  const std::vector<double> b = {5, 10};
+  const std::vector<double> x = solve_dense(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, RequiresPivoting) {
+  // First pivot is 0: {0 1; 1 0} x = {2, 3} -> x = {3, 2}
+  const std::vector<double> a = {0, 1, 1, 0};
+  const std::vector<double> b = {2, 3};
+  const std::vector<double> x = solve_dense(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, ThreeByThree) {
+  // A = [[4,1,0],[1,3,1],[0,1,2]], x = [1,2,3] -> b = [6,10,8]
+  const std::vector<double> a = {4, 1, 0, 1, 3, 1, 0, 1, 2};
+  const std::vector<double> b = {6, 10, 8};
+  const std::vector<double> x = solve_dense(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+  EXPECT_NEAR(x[2], 3.0, 1e-10);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.5 * v - 1.0);
+  const LinearFit fit = fit_line(x, y);
+  ASSERT_EQ(fit.coefficients.size(), 2u);
+  EXPECT_NEAR(fit.coefficients[0], 2.5, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], -1.0, 1e-10);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-10);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = static_cast<double>(i) / 10.0;
+    x.push_back(xi);
+    y.push_back(3.0 * xi + 7.0 + (rng.uniform() - 0.5));
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 0.05);
+  EXPECT_NEAR(fit.coefficients[1], 7.0, 0.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSquares, InterceptOnlyEqualsMean) {
+  const std::vector<double> design = {1, 1, 1, 1};
+  const std::vector<double> y = {2, 4, 6, 8};
+  const LinearFit fit = least_squares(design, 1, y);
+  EXPECT_NEAR(fit.coefficients[0], 5.0, 1e-12);
+}
+
+TEST(LeastSquares, ConstantTargetPerfectRSquared) {
+  const std::vector<double> design = {1, 1, 1};
+  const std::vector<double> y = {4, 4, 4};
+  const LinearFit fit = least_squares(design, 1, y);
+  EXPECT_NEAR(fit.coefficients[0], 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);  // SST == 0 convention
+}
+
+TEST(LeastSquares, TwoColumnDesign) {
+  // y = 2*a + 3*b exactly.
+  std::vector<double> design, y;
+  const double points[][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}};
+  for (const auto& p : points) {
+    design.push_back(p[0]);
+    design.push_back(p[1]);
+    y.push_back(2 * p[0] + 3 * p[1]);
+  }
+  const LinearFit fit = least_squares(design, 2, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-10);
+}
+
+TEST(CentralizedModelFit, RecoversPlantedCoefficients) {
+  // Plant rounds = 1.7*(ln n/ln d) + 2.3*ln d + 4 over a (n, d) grid.
+  std::vector<double> n, d, rounds;
+  for (double nn : {1000.0, 4000.0, 16000.0, 64000.0}) {
+    for (double dd : {8.0, 32.0, 128.0}) {
+      n.push_back(nn);
+      d.push_back(dd);
+      rounds.push_back(1.7 * std::log(nn) / std::log(dd) +
+                       2.3 * std::log(dd) + 4.0);
+    }
+  }
+  const BroadcastModelFit fit = fit_centralized_model(n, d, rounds);
+  EXPECT_NEAR(fit.diameter_coeff, 1.7, 1e-8);
+  EXPECT_NEAR(fit.selective_coeff, 2.3, 1e-8);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-7);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace radio

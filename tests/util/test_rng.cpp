@@ -1,0 +1,204 @@
+// RNG: determinism, stream independence, and distributional sanity of the
+// uniform / bernoulli / geometric / binomial helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace radio {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, StreamsAreIndependentOfEachOther) {
+  Rng a = Rng::for_stream(42, 0);
+  Rng b = Rng::for_stream(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, StreamIsReproducible) {
+  Rng a = Rng::for_stream(42, 17);
+  Rng b = Rng::for_stream(42, 17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformIsInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsHalf) {
+  Rng rng(4);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, UniformBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, UniformBelowOneAlwaysZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro, UniformBelowIsApproximatelyUniform) {
+  Rng rng(7);
+  std::map<std::uint64_t, int> counts;
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_below(6)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_LT(value, 6u);
+    EXPECT_NEAR(count, draws / 6.0, draws * 0.01);
+  }
+}
+
+TEST(Xoshiro, UniformInCoversInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_in(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Rng rng(10);
+  for (double p : {0.1, 0.5, 0.9}) {
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+  }
+}
+
+TEST(Xoshiro, GeometricSkipsWithPOneIsZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric_skips(1.0), 0u);
+}
+
+TEST(Xoshiro, GeometricSkipsMeanMatchesTheory) {
+  Rng rng(12);
+  for (double p : {0.5, 0.1, 0.01}) {
+    double acc = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+      acc += static_cast<double>(rng.geometric_skips(p));
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(acc / n, expected, expected * 0.1 + 0.05);
+  }
+}
+
+TEST(Xoshiro, BinomialEdgeCases) {
+  Rng rng(13);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+}
+
+TEST(Xoshiro, BinomialNeverExceedsN) {
+  Rng rng(14);
+  for (int i = 0; i < 2000; ++i) EXPECT_LE(rng.binomial(50, 0.7), 50u);
+}
+
+TEST(Xoshiro, BinomialMeanSmallRegime) {
+  Rng rng(15);
+  double acc = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    acc += static_cast<double>(rng.binomial(100, 0.05));  // mean 5 (<32 path)
+  EXPECT_NEAR(acc / trials, 5.0, 0.2);
+}
+
+TEST(Xoshiro, BinomialMeanLargeRegime) {
+  Rng rng(16);
+  double acc = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    acc += static_cast<double>(rng.binomial(1000, 0.5));  // mean 500 (normal path)
+  EXPECT_NEAR(acc / trials, 500.0, 2.0);
+}
+
+TEST(Xoshiro, BinomialFlippedProbabilityIsSymmetric) {
+  Rng rng(17);
+  double lo = 0.0, hi = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    lo += static_cast<double>(rng.binomial(40, 0.2));
+    hi += static_cast<double>(rng.binomial(40, 0.8));
+  }
+  EXPECT_NEAR(lo / trials, 8.0, 0.3);
+  EXPECT_NEAR(hi / trials, 32.0, 0.3);
+}
+
+/// Property sweep: uniform_below over many bounds stays in range and hits
+/// both endpoints eventually.
+class UniformBelowSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformBelowSweep, InRangeAndCoversEndpoints) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 2654435761u + 1);
+  bool saw_zero = false, saw_max = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.uniform_below(bound);
+    ASSERT_LT(v, bound);
+    saw_zero |= v == 0;
+    saw_max |= v == bound - 1;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformBelowSweep,
+                         ::testing::Values(2, 3, 7, 64, 100, 1023));
+
+}  // namespace
+}  // namespace radio

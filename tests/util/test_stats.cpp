@@ -1,0 +1,151 @@
+// Statistics helpers: summaries, quantiles, correlation, bootstrap.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Stats, MeanOfConstants) {
+  const std::vector<double> v(10, 3.5);
+  EXPECT_DOUBLE_EQ(mean(v), 3.5);
+}
+
+TEST(Stats, MeanOfSequence) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, StddevOfConstantsIsZero) {
+  const std::vector<double> v(5, 7.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(v), 0.0);
+}
+
+TEST(Stats, StddevSingleValueIsZero) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(sample_stddev(v), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample variance = 32/7.
+  EXPECT_NEAR(sample_stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, QuantileSingleElement) {
+  const std::vector<double> v = {5.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Stats, QuantileInterpolatesType7) {
+  const std::vector<double> v = {1, 2, 3, 4};  // numpy: q(0.5) == 2.5
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_NEAR(quantile(v, 0.25), 1.75, 1e-12);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  const std::vector<double> v = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+}
+
+TEST(Stats, SummarizeBasics) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAntiCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantInputIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, FractionAtMost) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 3.0), 0.6);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_at_most(v, 10.0), 1.0);
+}
+
+TEST(Stats, BootstrapCiContainsTrueMeanOfTightData) {
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(10.0 + (i % 5) * 0.1);
+  const Interval ci = bootstrap_mean_ci(v, 0.95, 500, 7);
+  const double m = mean(v);
+  EXPECT_LE(ci.lo, m);
+  EXPECT_GE(ci.hi, m);
+  EXPECT_LT(ci.hi - ci.lo, 0.1);
+}
+
+TEST(Stats, BootstrapCiIsDeterministicForFixedSeed) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Interval a = bootstrap_mean_ci(v, 0.9, 200, 11);
+  const Interval b = bootstrap_mean_ci(v, 0.9, 200, 11);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Stats, WilsonIntervalContainsProportion) {
+  const Interval ci = wilson_interval(70, 100);
+  EXPECT_LT(ci.lo, 0.7);
+  EXPECT_GT(ci.hi, 0.7);
+  EXPECT_GT(ci.lo, 0.55);
+  EXPECT_LT(ci.hi, 0.82);
+}
+
+TEST(Stats, WilsonIntervalAtBoundaries) {
+  const Interval zero = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.15);
+  const Interval full = wilson_interval(50, 50);
+  EXPECT_DOUBLE_EQ(full.hi, 1.0);
+  EXPECT_LT(full.lo, 1.0);
+  EXPECT_GT(full.lo, 0.85);
+}
+
+TEST(Stats, WilsonIntervalShrinksWithTrials) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Stats, WilsonIntervalWiderZWider) {
+  const Interval narrow = wilson_interval(30, 60, 1.0);
+  const Interval wide = wilson_interval(30, 60, 2.58);
+  EXPECT_GT(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+TEST(Stats, BootstrapWiderConfidenceWiderInterval) {
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(static_cast<double>(i));
+  const Interval narrow = bootstrap_mean_ci(v, 0.5, 400, 3);
+  const Interval wide = bootstrap_mean_ci(v, 0.99, 400, 3);
+  EXPECT_GE(wide.hi - wide.lo, narrow.hi - narrow.lo);
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,104 @@
+// Table rendering: cell types, alignment, CSV escaping.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/table.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Table, StoresCellsByRowAndColumn) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(std::uint64_t{42});
+  t.row().cell(1.5, 1).cell("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.at(0, 0), "x");
+  EXPECT_EQ(t.at(0, 1), "42");
+  EXPECT_EQ(t.at(1, 0), "1.5");
+  EXPECT_EQ(t.at(1, 1), "y");
+}
+
+TEST(Table, FormatDoublePrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+TEST(Table, IntCellTypes) {
+  Table t({"v"});
+  t.row().cell(-7);
+  t.row().cell(std::int64_t{-1234567890123});
+  t.row().cell(std::uint64_t{18446744073709551615ULL});
+  EXPECT_EQ(t.at(0, 0), "-7");
+  EXPECT_EQ(t.at(1, 0), "-1234567890123");
+  EXPECT_EQ(t.at(2, 0), "18446744073709551615");
+}
+
+TEST(Table, ToStringContainsHeaderSeparatorAndCells) {
+  Table t({"name", "value"});
+  t.row().cell("answer").cell(42);
+  const std::string rendered = t.to_string();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("answer"), std::string::npos);
+  EXPECT_NE(rendered.find("42"), std::string::npos);
+  EXPECT_NE(rendered.find("---"), std::string::npos);
+}
+
+TEST(Table, ToStringAlignsColumns) {
+  Table t({"h", "i"});
+  t.row().cell("looooong").cell("x");
+  const std::string rendered = t.to_string();
+  // Every line has the same length when columns are padded.
+  std::size_t first_len = rendered.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < rendered.size()) {
+    const std::size_t next = rendered.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a"});
+  t.row().cell("x,y");
+  t.row().cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.row().cell("n").cell(128);
+  const std::string path = ::testing::TempDir() + "/radio_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[128] = {};
+  const std::size_t read = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, read), "k,v\nn,128\n");
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent_dir_zzz/file.csv"));
+}
+
+TEST(Table, DefaultConstructedTableIsEmpty) {
+  Table t;
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_cols(), 0u);
+}
+
+}  // namespace
+}  // namespace radio
