@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_fault_robustness.dir/bench/bench_e11_fault_robustness.cpp.o"
+  "CMakeFiles/bench_e11_fault_robustness.dir/bench/bench_e11_fault_robustness.cpp.o.d"
+  "bench/bench_e11_fault_robustness"
+  "bench/bench_e11_fault_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_fault_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

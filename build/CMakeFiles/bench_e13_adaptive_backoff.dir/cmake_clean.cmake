@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_adaptive_backoff.dir/bench/bench_e13_adaptive_backoff.cpp.o"
+  "CMakeFiles/bench_e13_adaptive_backoff.dir/bench/bench_e13_adaptive_backoff.cpp.o.d"
+  "bench/bench_e13_adaptive_backoff"
+  "bench/bench_e13_adaptive_backoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_adaptive_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_multisource.dir/bench/bench_e14_multisource.cpp.o"
+  "CMakeFiles/bench_e14_multisource.dir/bench/bench_e14_multisource.cpp.o.d"
+  "bench/bench_e14_multisource"
+  "bench/bench_e14_multisource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_multisource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

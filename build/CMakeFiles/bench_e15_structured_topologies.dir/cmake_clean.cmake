@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_structured_topologies.dir/bench/bench_e15_structured_topologies.cpp.o"
+  "CMakeFiles/bench_e15_structured_topologies.dir/bench/bench_e15_structured_topologies.cpp.o.d"
+  "bench/bench_e15_structured_topologies"
+  "bench/bench_e15_structured_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_structured_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

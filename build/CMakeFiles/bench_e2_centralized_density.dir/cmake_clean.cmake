@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_centralized_density.dir/bench/bench_e2_centralized_density.cpp.o"
+  "CMakeFiles/bench_e2_centralized_density.dir/bench/bench_e2_centralized_density.cpp.o.d"
+  "bench/bench_e2_centralized_density"
+  "bench/bench_e2_centralized_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_centralized_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

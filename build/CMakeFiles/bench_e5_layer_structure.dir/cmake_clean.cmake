@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_layer_structure.dir/bench/bench_e5_layer_structure.cpp.o"
+  "CMakeFiles/bench_e5_layer_structure.dir/bench/bench_e5_layer_structure.cpp.o.d"
+  "bench/bench_e5_layer_structure"
+  "bench/bench_e5_layer_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_layer_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

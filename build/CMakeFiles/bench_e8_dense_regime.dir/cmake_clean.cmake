@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_dense_regime.dir/bench/bench_e8_dense_regime.cpp.o"
+  "CMakeFiles/bench_e8_dense_regime.dir/bench/bench_e8_dense_regime.cpp.o.d"
+  "bench/bench_e8_dense_regime"
+  "bench/bench_e8_dense_regime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_dense_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

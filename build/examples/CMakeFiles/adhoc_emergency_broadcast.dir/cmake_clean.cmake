@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_emergency_broadcast.dir/adhoc_emergency_broadcast.cpp.o"
+  "CMakeFiles/adhoc_emergency_broadcast.dir/adhoc_emergency_broadcast.cpp.o.d"
+  "adhoc_emergency_broadcast"
+  "adhoc_emergency_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_emergency_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

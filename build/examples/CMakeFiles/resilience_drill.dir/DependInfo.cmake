@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/resilience_drill.cpp" "examples/CMakeFiles/resilience_drill.dir/resilience_drill.cpp.o" "gcc" "examples/CMakeFiles/resilience_drill.dir/resilience_drill.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/radio_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/radio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/radio_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/radio_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/singleport/CMakeFiles/radio_singleport.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

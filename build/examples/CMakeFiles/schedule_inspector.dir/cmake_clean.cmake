@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_inspector.dir/schedule_inspector.cpp.o"
+  "CMakeFiles/schedule_inspector.dir/schedule_inspector.cpp.o.d"
+  "schedule_inspector"
+  "schedule_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/experiment_config.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiment_config.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiment_config.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e10_model_equivalence.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e10_model_equivalence.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e10_model_equivalence.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e11_fault_robustness.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e11_fault_robustness.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e11_fault_robustness.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e12_gossip_scaling.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e12_gossip_scaling.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e12_gossip_scaling.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e13_adaptive_backoff.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e13_adaptive_backoff.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e13_adaptive_backoff.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e14_multisource.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e14_multisource.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e14_multisource.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e15_structured_topologies.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e15_structured_topologies.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e15_structured_topologies.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e1_centralized_scaling.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e1_centralized_scaling.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e1_centralized_scaling.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e2_centralized_density.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e2_centralized_density.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e2_centralized_density.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e3_distributed_scaling.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e3_distributed_scaling.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e3_distributed_scaling.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e4_protocol_comparison.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e4_protocol_comparison.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e4_protocol_comparison.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e5_layer_structure.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e5_layer_structure.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e5_layer_structure.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e6_covering_matching.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e6_covering_matching.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e6_covering_matching.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e7_lower_bounds.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e7_lower_bounds.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e7_lower_bounds.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e8_dense_regime.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e8_dense_regime.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e8_dense_regime.cpp.o.d"
+  "/root/repo/src/analysis/experiments/e9_phase_ablation.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e9_phase_ablation.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/experiments/e9_phase_ablation.cpp.o.d"
+  "/root/repo/src/analysis/workload.cpp" "src/analysis/CMakeFiles/radio_analysis.dir/workload.cpp.o" "gcc" "src/analysis/CMakeFiles/radio_analysis.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/radio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/radio_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/radio_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/singleport/CMakeFiles/radio_singleport.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/centralized.cpp" "src/core/CMakeFiles/radio_core.dir/centralized.cpp.o" "gcc" "src/core/CMakeFiles/radio_core.dir/centralized.cpp.o.d"
+  "/root/repo/src/core/distributed.cpp" "src/core/CMakeFiles/radio_core.dir/distributed.cpp.o" "gcc" "src/core/CMakeFiles/radio_core.dir/distributed.cpp.o.d"
+  "/root/repo/src/core/layer_probe.cpp" "src/core/CMakeFiles/radio_core.dir/layer_probe.cpp.o" "gcc" "src/core/CMakeFiles/radio_core.dir/layer_probe.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/core/CMakeFiles/radio_core.dir/lower_bound.cpp.o" "gcc" "src/core/CMakeFiles/radio_core.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/core/scheduled_protocol.cpp" "src/core/CMakeFiles/radio_core.dir/scheduled_protocol.cpp.o" "gcc" "src/core/CMakeFiles/radio_core.dir/scheduled_protocol.cpp.o.d"
+  "/root/repo/src/core/tree_schedule.cpp" "src/core/CMakeFiles/radio_core.dir/tree_schedule.cpp.o" "gcc" "src/core/CMakeFiles/radio_core.dir/tree_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/radio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

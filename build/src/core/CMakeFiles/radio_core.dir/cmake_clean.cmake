@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_core.dir/centralized.cpp.o"
+  "CMakeFiles/radio_core.dir/centralized.cpp.o.d"
+  "CMakeFiles/radio_core.dir/distributed.cpp.o"
+  "CMakeFiles/radio_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/radio_core.dir/layer_probe.cpp.o"
+  "CMakeFiles/radio_core.dir/layer_probe.cpp.o.d"
+  "CMakeFiles/radio_core.dir/lower_bound.cpp.o"
+  "CMakeFiles/radio_core.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/radio_core.dir/scheduled_protocol.cpp.o"
+  "CMakeFiles/radio_core.dir/scheduled_protocol.cpp.o.d"
+  "CMakeFiles/radio_core.dir/tree_schedule.cpp.o"
+  "CMakeFiles/radio_core.dir/tree_schedule.cpp.o.d"
+  "libradio_core.a"
+  "libradio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

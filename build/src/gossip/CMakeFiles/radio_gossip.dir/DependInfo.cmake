@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gossip/gossip_protocols.cpp" "src/gossip/CMakeFiles/radio_gossip.dir/gossip_protocols.cpp.o" "gcc" "src/gossip/CMakeFiles/radio_gossip.dir/gossip_protocols.cpp.o.d"
+  "/root/repo/src/gossip/gossip_session.cpp" "src/gossip/CMakeFiles/radio_gossip.dir/gossip_session.cpp.o" "gcc" "src/gossip/CMakeFiles/radio_gossip.dir/gossip_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/radio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

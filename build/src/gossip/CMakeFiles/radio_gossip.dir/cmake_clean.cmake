@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_gossip.dir/gossip_protocols.cpp.o"
+  "CMakeFiles/radio_gossip.dir/gossip_protocols.cpp.o.d"
+  "CMakeFiles/radio_gossip.dir/gossip_session.cpp.o"
+  "CMakeFiles/radio_gossip.dir/gossip_session.cpp.o.d"
+  "libradio_gossip.a"
+  "libradio_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

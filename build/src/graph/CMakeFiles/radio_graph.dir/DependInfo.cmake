@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/radio_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/radio_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/covering.cpp" "src/graph/CMakeFiles/radio_graph.dir/covering.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/covering.cpp.o.d"
+  "/root/repo/src/graph/degree.cpp" "src/graph/CMakeFiles/radio_graph.dir/degree.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/degree.cpp.o.d"
+  "/root/repo/src/graph/diameter.cpp" "src/graph/CMakeFiles/radio_graph.dir/diameter.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/diameter.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/radio_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/radio_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/random_graph.cpp" "src/graph/CMakeFiles/radio_graph.dir/random_graph.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/random_graph.cpp.o.d"
+  "/root/repo/src/graph/statistics.cpp" "src/graph/CMakeFiles/radio_graph.dir/statistics.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/statistics.cpp.o.d"
+  "/root/repo/src/graph/topologies.cpp" "src/graph/CMakeFiles/radio_graph.dir/topologies.cpp.o" "gcc" "src/graph/CMakeFiles/radio_graph.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

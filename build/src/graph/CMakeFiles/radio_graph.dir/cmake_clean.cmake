@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_graph.dir/bfs.cpp.o"
+  "CMakeFiles/radio_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/components.cpp.o"
+  "CMakeFiles/radio_graph.dir/components.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/covering.cpp.o"
+  "CMakeFiles/radio_graph.dir/covering.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/degree.cpp.o"
+  "CMakeFiles/radio_graph.dir/degree.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/diameter.cpp.o"
+  "CMakeFiles/radio_graph.dir/diameter.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/graph.cpp.o"
+  "CMakeFiles/radio_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/io.cpp.o"
+  "CMakeFiles/radio_graph.dir/io.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/random_graph.cpp.o"
+  "CMakeFiles/radio_graph.dir/random_graph.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/statistics.cpp.o"
+  "CMakeFiles/radio_graph.dir/statistics.cpp.o.d"
+  "CMakeFiles/radio_graph.dir/topologies.cpp.o"
+  "CMakeFiles/radio_graph.dir/topologies.cpp.o.d"
+  "libradio_graph.a"
+  "libradio_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libradio_graph.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/adaptive_backoff.cpp" "src/protocols/CMakeFiles/radio_protocols.dir/adaptive_backoff.cpp.o" "gcc" "src/protocols/CMakeFiles/radio_protocols.dir/adaptive_backoff.cpp.o.d"
+  "/root/repo/src/protocols/decay.cpp" "src/protocols/CMakeFiles/radio_protocols.dir/decay.cpp.o" "gcc" "src/protocols/CMakeFiles/radio_protocols.dir/decay.cpp.o.d"
+  "/root/repo/src/protocols/flooding.cpp" "src/protocols/CMakeFiles/radio_protocols.dir/flooding.cpp.o" "gcc" "src/protocols/CMakeFiles/radio_protocols.dir/flooding.cpp.o.d"
+  "/root/repo/src/protocols/round_robin.cpp" "src/protocols/CMakeFiles/radio_protocols.dir/round_robin.cpp.o" "gcc" "src/protocols/CMakeFiles/radio_protocols.dir/round_robin.cpp.o.d"
+  "/root/repo/src/protocols/selective_family.cpp" "src/protocols/CMakeFiles/radio_protocols.dir/selective_family.cpp.o" "gcc" "src/protocols/CMakeFiles/radio_protocols.dir/selective_family.cpp.o.d"
+  "/root/repo/src/protocols/uniform_gossip.cpp" "src/protocols/CMakeFiles/radio_protocols.dir/uniform_gossip.cpp.o" "gcc" "src/protocols/CMakeFiles/radio_protocols.dir/uniform_gossip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/radio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

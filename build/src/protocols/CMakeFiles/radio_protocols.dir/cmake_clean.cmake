@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_protocols.dir/adaptive_backoff.cpp.o"
+  "CMakeFiles/radio_protocols.dir/adaptive_backoff.cpp.o.d"
+  "CMakeFiles/radio_protocols.dir/decay.cpp.o"
+  "CMakeFiles/radio_protocols.dir/decay.cpp.o.d"
+  "CMakeFiles/radio_protocols.dir/flooding.cpp.o"
+  "CMakeFiles/radio_protocols.dir/flooding.cpp.o.d"
+  "CMakeFiles/radio_protocols.dir/round_robin.cpp.o"
+  "CMakeFiles/radio_protocols.dir/round_robin.cpp.o.d"
+  "CMakeFiles/radio_protocols.dir/selective_family.cpp.o"
+  "CMakeFiles/radio_protocols.dir/selective_family.cpp.o.d"
+  "CMakeFiles/radio_protocols.dir/uniform_gossip.cpp.o"
+  "CMakeFiles/radio_protocols.dir/uniform_gossip.cpp.o.d"
+  "libradio_protocols.a"
+  "libradio_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/radio_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/radio_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/sim/CMakeFiles/radio_sim.dir/runner.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/runner.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/radio_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/schedule_io.cpp" "src/sim/CMakeFiles/radio_sim.dir/schedule_io.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/sim/schedule_tools.cpp" "src/sim/CMakeFiles/radio_sim.dir/schedule_tools.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/schedule_tools.cpp.o.d"
+  "/root/repo/src/sim/session.cpp" "src/sim/CMakeFiles/radio_sim.dir/session.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/session.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/radio_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/radio_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_sim.dir/engine.cpp.o"
+  "CMakeFiles/radio_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/faults.cpp.o"
+  "CMakeFiles/radio_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/runner.cpp.o"
+  "CMakeFiles/radio_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/schedule.cpp.o"
+  "CMakeFiles/radio_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/schedule_io.cpp.o"
+  "CMakeFiles/radio_sim.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/schedule_tools.cpp.o"
+  "CMakeFiles/radio_sim.dir/schedule_tools.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/session.cpp.o"
+  "CMakeFiles/radio_sim.dir/session.cpp.o.d"
+  "CMakeFiles/radio_sim.dir/trace.cpp.o"
+  "CMakeFiles/radio_sim.dir/trace.cpp.o.d"
+  "libradio_sim.a"
+  "libradio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

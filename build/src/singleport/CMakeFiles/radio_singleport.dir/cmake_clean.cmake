@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_singleport.dir/rumor.cpp.o"
+  "CMakeFiles/radio_singleport.dir/rumor.cpp.o.d"
+  "libradio_singleport.a"
+  "libradio_singleport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_singleport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

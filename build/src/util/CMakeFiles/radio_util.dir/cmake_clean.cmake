@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radio_util.dir/bitset.cpp.o"
+  "CMakeFiles/radio_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/radio_util.dir/cli.cpp.o"
+  "CMakeFiles/radio_util.dir/cli.cpp.o.d"
+  "CMakeFiles/radio_util.dir/fit.cpp.o"
+  "CMakeFiles/radio_util.dir/fit.cpp.o.d"
+  "CMakeFiles/radio_util.dir/rng.cpp.o"
+  "CMakeFiles/radio_util.dir/rng.cpp.o.d"
+  "CMakeFiles/radio_util.dir/stats.cpp.o"
+  "CMakeFiles/radio_util.dir/stats.cpp.o.d"
+  "CMakeFiles/radio_util.dir/table.cpp.o"
+  "CMakeFiles/radio_util.dir/table.cpp.o.d"
+  "libradio_util.a"
+  "libradio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_experiments.cpp" "tests/CMakeFiles/radio_tests.dir/analysis/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/analysis/test_experiments.cpp.o.d"
+  "/root/repo/tests/analysis/test_presentation.cpp" "tests/CMakeFiles/radio_tests.dir/analysis/test_presentation.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/analysis/test_presentation.cpp.o.d"
+  "/root/repo/tests/analysis/test_workload.cpp" "tests/CMakeFiles/radio_tests.dir/analysis/test_workload.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/analysis/test_workload.cpp.o.d"
+  "/root/repo/tests/core/test_centralized.cpp" "tests/CMakeFiles/radio_tests.dir/core/test_centralized.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/core/test_centralized.cpp.o.d"
+  "/root/repo/tests/core/test_distributed.cpp" "tests/CMakeFiles/radio_tests.dir/core/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/core/test_distributed.cpp.o.d"
+  "/root/repo/tests/core/test_layer_probe.cpp" "tests/CMakeFiles/radio_tests.dir/core/test_layer_probe.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/core/test_layer_probe.cpp.o.d"
+  "/root/repo/tests/core/test_lower_bound.cpp" "tests/CMakeFiles/radio_tests.dir/core/test_lower_bound.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/core/test_lower_bound.cpp.o.d"
+  "/root/repo/tests/core/test_tree_schedule.cpp" "tests/CMakeFiles/radio_tests.dir/core/test_tree_schedule.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/core/test_tree_schedule.cpp.o.d"
+  "/root/repo/tests/gossip/test_gossip.cpp" "tests/CMakeFiles/radio_tests.dir/gossip/test_gossip.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/gossip/test_gossip.cpp.o.d"
+  "/root/repo/tests/graph/test_bfs.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_bfs.cpp.o.d"
+  "/root/repo/tests/graph/test_components.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_components.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_components.cpp.o.d"
+  "/root/repo/tests/graph/test_covering.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_covering.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_covering.cpp.o.d"
+  "/root/repo/tests/graph/test_degree_diameter.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_degree_diameter.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_degree_diameter.cpp.o.d"
+  "/root/repo/tests/graph/test_graph.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_graph.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_graph.cpp.o.d"
+  "/root/repo/tests/graph/test_io.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_io.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_io.cpp.o.d"
+  "/root/repo/tests/graph/test_random_graph.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_random_graph.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_random_graph.cpp.o.d"
+  "/root/repo/tests/graph/test_statistics.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_statistics.cpp.o.d"
+  "/root/repo/tests/graph/test_topologies.cpp" "tests/CMakeFiles/radio_tests.dir/graph/test_topologies.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/graph/test_topologies.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/radio_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_topology_broadcast.cpp" "tests/CMakeFiles/radio_tests.dir/integration/test_topology_broadcast.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/integration/test_topology_broadcast.cpp.o.d"
+  "/root/repo/tests/property/test_broadcast_properties.cpp" "tests/CMakeFiles/radio_tests.dir/property/test_broadcast_properties.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/property/test_broadcast_properties.cpp.o.d"
+  "/root/repo/tests/property/test_engine_reference.cpp" "tests/CMakeFiles/radio_tests.dir/property/test_engine_reference.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/property/test_engine_reference.cpp.o.d"
+  "/root/repo/tests/property/test_fault_properties.cpp" "tests/CMakeFiles/radio_tests.dir/property/test_fault_properties.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/property/test_fault_properties.cpp.o.d"
+  "/root/repo/tests/property/test_fuzz_stack.cpp" "tests/CMakeFiles/radio_tests.dir/property/test_fuzz_stack.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/property/test_fuzz_stack.cpp.o.d"
+  "/root/repo/tests/property/test_gossip_properties.cpp" "tests/CMakeFiles/radio_tests.dir/property/test_gossip_properties.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/property/test_gossip_properties.cpp.o.d"
+  "/root/repo/tests/property/test_schedule_roundtrip.cpp" "tests/CMakeFiles/radio_tests.dir/property/test_schedule_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/property/test_schedule_roundtrip.cpp.o.d"
+  "/root/repo/tests/protocols/test_adaptive_backoff.cpp" "tests/CMakeFiles/radio_tests.dir/protocols/test_adaptive_backoff.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/protocols/test_adaptive_backoff.cpp.o.d"
+  "/root/repo/tests/protocols/test_protocols.cpp" "tests/CMakeFiles/radio_tests.dir/protocols/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/protocols/test_protocols.cpp.o.d"
+  "/root/repo/tests/protocols/test_selective_family.cpp" "tests/CMakeFiles/radio_tests.dir/protocols/test_selective_family.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/protocols/test_selective_family.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_faults.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_faults.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_faults.cpp.o.d"
+  "/root/repo/tests/sim/test_multisource.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_multisource.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_multisource.cpp.o.d"
+  "/root/repo/tests/sim/test_observations.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_observations.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_observations.cpp.o.d"
+  "/root/repo/tests/sim/test_runner.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_runner.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_runner.cpp.o.d"
+  "/root/repo/tests/sim/test_schedule.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_schedule.cpp.o.d"
+  "/root/repo/tests/sim/test_schedule_io.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_schedule_io.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_schedule_io.cpp.o.d"
+  "/root/repo/tests/sim/test_schedule_tools.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_schedule_tools.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_schedule_tools.cpp.o.d"
+  "/root/repo/tests/sim/test_session.cpp" "tests/CMakeFiles/radio_tests.dir/sim/test_session.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/sim/test_session.cpp.o.d"
+  "/root/repo/tests/singleport/test_rumor.cpp" "tests/CMakeFiles/radio_tests.dir/singleport/test_rumor.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/singleport/test_rumor.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/radio_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/util/test_assert.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_assert.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_assert.cpp.o.d"
+  "/root/repo/tests/util/test_bitset.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_bitset.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_bitset.cpp.o.d"
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_fit.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_fit.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_fit.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/radio_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/radio_tests.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/radio_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/radio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/radio_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/radio_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/singleport/CMakeFiles/radio_singleport.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/radio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/radio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
