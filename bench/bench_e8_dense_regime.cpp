@@ -2,11 +2,45 @@
 // then regenerates the E8 dense-regime table.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "analysis/workload.hpp"
 #include "bench_common.hpp"
 #include "core/centralized.hpp"
+#include "sim/engine.hpp"
 
 namespace {
+
+// Head-to-head round kernel: the same dense rounds executed with the path
+// pinned sparse (Arg 0) vs pinned to the word-parallel kernel (Arg 1).
+// n = 4096, p = 1 - 1/32, |T| = n/8 — squarely the E8 regime, where
+// sum deg(t) ~ |T| * n dwarfs the (|T| + 4) * n/64 word sweeps.
+void BM_DenseRoundKernel(benchmark::State& state) {
+  const radio::NodeId n = 1 << 12;
+  const radio::GnpParams params{n, 1.0 - 1.0 / 32.0};
+  radio::Rng rng(42);
+  const radio::Graph g = radio::generate_gnp(params, rng);
+  g.adjacency_bitmap();  // build once, outside the timed loop
+
+  radio::Bitset informed(n);
+  std::vector<radio::NodeId> transmitters;
+  for (radio::NodeId v = 0; v < n; ++v) {
+    if (rng.bernoulli(0.5)) informed.set(v);
+    if (v % 8 == 0) transmitters.push_back(v);
+  }
+
+  radio::RadioEngine engine(g);
+  engine.force_path(state.range(0) == 1 ? radio::RoundPath::kDense
+                                        : radio::RoundPath::kSparse);
+  std::vector<radio::NodeId> delivered;
+  for (auto _ : state) {
+    delivered.clear();
+    const auto outcome = engine.step(transmitters, informed, delivered);
+    benchmark::DoNotOptimize(outcome.collisions + delivered.size());
+  }
+  state.counters["delivered"] = static_cast<double>(delivered.size());
+}
+BENCHMARK(BM_DenseRoundKernel)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 void BM_DenseCentralizedBuild(benchmark::State& state) {
   const radio::NodeId n = 1 << 10;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification from a clean tree (the line ROADMAP.md pins):
+# configure, build, run the full gtest suite via ctest.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+rm -rf "$BUILD_DIR"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -31,16 +32,34 @@ inline int trial_threads() noexcept {
 
 /// Runs `fn(trial_index, rng)` for trial_index in [0, trials) and collects
 /// the results in trial order. T must be default-constructible and movable.
+///
+/// A throwing trial must surface as a normal catchable exception: letting it
+/// escape the OpenMP parallel region calls std::terminate. The first
+/// exception raised (by any thread) is captured inside the region and
+/// rethrown after the join; remaining iterations still run, which is fine —
+/// trials are independent and the results vector is discarded on throw.
 template <class T, class Fn>
 std::vector<T> run_trials(int trials, std::uint64_t seed, Fn&& fn) {
   std::vector<T> results(static_cast<std::size_t>(trials));
 #if defined(RADIO_HAVE_OPENMP)
+  std::exception_ptr failure = nullptr;
 #pragma omp parallel for schedule(dynamic)
-#endif
+  for (int i = 0; i < trials; ++i) {
+    try {
+      Rng rng = Rng::for_stream(seed, static_cast<std::uint64_t>(i));
+      results[static_cast<std::size_t>(i)] = fn(i, rng);
+    } catch (...) {
+#pragma omp critical(radio_trial_failure)
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+#else
   for (int i = 0; i < trials; ++i) {
     Rng rng = Rng::for_stream(seed, static_cast<std::uint64_t>(i));
     results[static_cast<std::size_t>(i)] = fn(i, rng);
   }
+#endif
   return results;
 }
 

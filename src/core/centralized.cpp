@@ -1,9 +1,11 @@
 #include "core/centralized.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "graph/covering.hpp"
+#include "sim/channel_kernel.hpp"
 #include "sim/session.hpp"
 #include "util/assert.hpp"
 
@@ -13,10 +15,32 @@ namespace {
 /// Counts how many currently uninformed listeners would receive the message
 /// if exactly `sample` (all informed) transmitted — the builder's look-ahead
 /// used to resample unproductive phase-2 rounds before committing them.
+/// Uses the word-parallel kernel when the cost model says the sweep over all
+/// listener neighborhoods would be dense work (both counts are exact).
 std::size_t preview_new_informed(const Graph& g, const BroadcastSession& session,
                                  std::span<const NodeId> sample) {
   Bitset member(g.num_nodes());
   for (NodeId v : sample) member.set(v);
+
+  // Dense preview: a listener would newly receive iff it has exactly one
+  // sampled neighbor and is neither informed nor sampled itself.
+  const EdgeCount listener_work = g.num_edges() * 2;  // Σ_w deg(w)
+  if (dense_round_pays(g.num_nodes(), sample.size(), listener_work)) {
+    DenseRoundAccumulator acc;
+    acc.accumulate(g, sample);
+    const std::span<const std::uint64_t> once = acc.once_words();
+    const std::span<const std::uint64_t> twice = acc.twice_words();
+    const std::span<const std::uint64_t> informed =
+        session.informed_set().words();
+    const std::span<const std::uint64_t> sampled = member.words();
+    std::size_t newly = 0;
+    for (std::size_t wi = 0; wi < once.size(); ++wi)
+      newly += static_cast<std::size_t>(std::popcount(
+          andnot(andnot(andnot(once[wi], twice[wi]), informed[wi]),
+                 sampled[wi])));
+    return newly;
+  }
+
   std::size_t newly = 0;
   for (NodeId w = 0; w < g.num_nodes(); ++w) {
     if (session.informed(w) || member.test(w)) continue;

@@ -1,5 +1,7 @@
 #include "gossip/gossip_session.hpp"
 
+#include <bit>
+
 #include "util/assert.hpp"
 
 namespace radio {
@@ -35,6 +37,34 @@ const GossipRoundStats& GossipSession::step(
     RADIO_EXPECTS(!transmitting_.test(t));
     transmitting_.set(t);
   }
+
+  // Senders are transmitters and transmitters never receive, so knowledge
+  // merges within a round are order-independent: both sweeps produce
+  // identical stats and post-round knowledge.
+  if (dense_round_pays(graph_->num_nodes(), transmitters.size(),
+                       sum_transmitter_degrees(*graph_, transmitters)))
+    sweep_dense(transmitters, stats);
+  else
+    sweep_sparse(transmitters, stats);
+
+  for (NodeId t : transmitters) transmitting_.reset(t);
+
+  stats.knowledge_total = total_;
+  history_.push_back(stats);
+  return history_.back();
+}
+
+void GossipSession::receive_from(NodeId w, NodeId sender,
+                                 GossipRoundStats& stats) {
+  ++stats.receivers;
+  const std::size_t gained = knowledge_[w].set_union(knowledge_[sender]);
+  counts_[w] += gained;
+  total_ += gained;
+  stats.rumors_moved += gained;
+}
+
+void GossipSession::sweep_sparse(std::span<const NodeId> transmitters,
+                                 GossipRoundStats& stats) {
   for (NodeId t : transmitters) {
     for (NodeId w : graph_->neighbors(t)) {
       if (hits_[w] == 0) {
@@ -53,12 +83,7 @@ const GossipRoundStats& GossipSession::step(
       ++stats.collisions;
       continue;
     }
-    ++stats.receivers;
-    const NodeId sender = unique_sender_[w];
-    const std::size_t gained = knowledge_[w].set_union(knowledge_[sender]);
-    counts_[w] += gained;
-    total_ += gained;
-    stats.rumors_moved += gained;
+    receive_from(w, unique_sender_[w], stats);
   }
 
   for (NodeId w : touched_) {
@@ -66,11 +91,24 @@ const GossipRoundStats& GossipSession::step(
     unique_sender_[w] = kInvalidNode;
   }
   touched_.clear();
-  for (NodeId t : transmitters) transmitting_.reset(t);
+}
 
-  stats.knowledge_total = total_;
-  history_.push_back(stats);
-  return history_.back();
+void GossipSession::sweep_dense(std::span<const NodeId> transmitters,
+                                GossipRoundStats& stats) {
+  dense_.accumulate(*graph_, transmitters);
+  const std::span<const std::uint64_t> once = dense_.once_words();
+  const std::span<const std::uint64_t> twice = dense_.twice_words();
+  const std::span<const std::uint64_t> tx = transmitting_.words();
+  for (std::size_t wi = 0; wi < once.size(); ++wi) {
+    stats.collisions +=
+        static_cast<std::uint32_t>(std::popcount(andnot(twice[wi], tx[wi])));
+    const std::uint64_t unique = andnot(andnot(once[wi], twice[wi]), tx[wi]);
+    for_each_set_bit(unique, wi * 64, [&](std::size_t bit) {
+      const auto w = static_cast<NodeId>(bit);
+      receive_from(w, unique_transmitting_neighbor(*graph_, transmitting_, w),
+                   stats);
+    });
+  }
 }
 
 }  // namespace radio

@@ -59,6 +59,20 @@ Graph Graph::from_csr(std::vector<EdgeCount> offsets, std::vector<NodeId> adj) {
   return g;
 }
 
+std::span<const std::uint64_t> Graph::adjacency_bitmap() const {
+  AdjacencyBitmapCache& cache = *bitmap_cache_;
+  std::call_once(cache.once, [&] {
+    const std::size_t wpr = bitmap_words_per_row();
+    cache.words.assign(static_cast<std::size_t>(num_nodes()) * wpr, 0);
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      std::uint64_t* row = cache.words.data() + static_cast<std::size_t>(v) * wpr;
+      for (NodeId w : neighbors(v))
+        row[w >> 6] |= std::uint64_t{1} << (w & 63);
+    }
+  });
+  return cache.words;
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const noexcept {
   if (u >= num_nodes() || v >= num_nodes()) return false;
   const auto nbrs = neighbors(u);

@@ -7,6 +7,9 @@
 // queries and cache-friendly sequential sweeps.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -61,9 +64,46 @@ class Graph {
   struct InducedSubgraph;
   InducedSubgraph induced(std::span<const NodeId> nodes) const;
 
+  // ---- adjacency bitmap (dense-round kernel substrate) --------------------
+  // Row-major n × ⌈n/64⌉ bitmap: bit w of row v is set iff {v, w} is an edge.
+  // Built lazily on first use (thread-safe; the graph stays shareable
+  // read-only across parallel trials) and shared by copies of this Graph.
+  // Costs n·⌈n/64⌉·8 bytes — callers gate on bitmap_bytes() before opting in.
+
+  /// Words per bitmap row (⌈n/64⌉).
+  std::size_t bitmap_words_per_row() const noexcept {
+    return (static_cast<std::size_t>(num_nodes()) + 63) / 64;
+  }
+
+  /// Memory the full bitmap occupies (whether or not it is built yet).
+  std::size_t bitmap_bytes() const noexcept {
+    return static_cast<std::size_t>(num_nodes()) * bitmap_words_per_row() *
+           sizeof(std::uint64_t);
+  }
+
+  /// The full bitmap, building it on first call. Row v occupies words
+  /// [v·wpr, (v+1)·wpr).
+  std::span<const std::uint64_t> adjacency_bitmap() const;
+
+  /// One row of the bitmap (builds the cache on first call).
+  std::span<const std::uint64_t> adjacency_row(NodeId v) const {
+    const auto bitmap = adjacency_bitmap();
+    const std::size_t wpr = bitmap_words_per_row();
+    return bitmap.subspan(static_cast<std::size_t>(v) * wpr, wpr);
+  }
+
  private:
+  struct AdjacencyBitmapCache {
+    std::once_flag once;
+    std::vector<std::uint64_t> words;
+  };
+
   std::vector<EdgeCount> offsets_;  ///< size n+1
   std::vector<NodeId> adj_;         ///< size 2m, sorted within each node
+  /// Heap-allocated so Graph stays movable (once_flag is not); shared between
+  /// copies, which is sound because adjacency is immutable after build.
+  std::shared_ptr<AdjacencyBitmapCache> bitmap_cache_ =
+      std::make_shared<AdjacencyBitmapCache>();
 };
 
 struct Graph::InducedSubgraph {

@@ -71,14 +71,16 @@ Graph generate_gnm(NodeId n, EdgeCount m, Rng& rng) {
       static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
   RADIO_EXPECTS(m <= total_pairs);
   std::unordered_set<std::uint64_t> chosen;
-  chosen.reserve(m * 2);
   std::vector<Edge> edges;
   edges.reserve(m);
   // Rejection sampling of unordered pairs; each accepted pair is uniform over
   // all pairs, and the set keeps them distinct. Expected iterations stay
   // near m while m is at most half of all pairs; above that we take the
-  // complement instead.
+  // complement instead. The set only ever holds min(m, total_pairs - m)
+  // entries, so reserve per branch — a blanket m*2 reserve allocated for m
+  // entries on the complement branch that inserts only the holes.
   if (m <= total_pairs / 2 || total_pairs < 64) {
+    chosen.reserve(static_cast<std::size_t>(m) * 2);
     while (edges.size() < m) {
       const auto a = static_cast<NodeId>(rng.uniform_below(n));
       const auto b = static_cast<NodeId>(rng.uniform_below(n));
@@ -90,6 +92,7 @@ Graph generate_gnm(NodeId n, EdgeCount m, Rng& rng) {
     }
   } else {
     const EdgeCount holes = total_pairs - m;
+    chosen.reserve(static_cast<std::size_t>(holes) * 2);
     while (chosen.size() < holes) {
       const auto a = static_cast<NodeId>(rng.uniform_below(n));
       const auto b = static_cast<NodeId>(rng.uniform_below(n));

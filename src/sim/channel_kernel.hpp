@@ -1,0 +1,89 @@
+// Word-parallel dense-round channel kernel, shared by RadioEngine,
+// GossipSession and the centralized builder's round preview.
+//
+// The sparse sweep costs O(Σ deg(t)) neighbor touches per round, which
+// degenerates to O(n²) when d = pn is large — exactly the paper's dense
+// regime (§3.1, E8). The kernel instead works on ⌈n/64⌉-word adjacency
+// bitmap rows (Graph::adjacency_row): per transmitter t it folds row(t) into
+// two accumulator bitmaps with the saturating 2-bit counter update
+//
+//     seen_twice |= seen_once & row(t);   seen_once |= row(t);
+//
+// after which, for any listener w,
+//     seen_twice[w]                 ⇔ ≥ 2 transmitting neighbors (collision)
+//     seen_once[w] & ~seen_twice[w] ⇔ exactly 1 transmitting neighbor.
+// Unique senders are recovered per exactly-one listener by scanning
+// row(w) & transmitting — rare in the dense regime, where nearly every
+// listener collides.
+//
+// Cost model (dense_round_pays): the sparse sweep touches Σ deg(t) adjacency
+// entries with random 1-byte writes; the kernel moves (|T| + c)·⌈n/64⌉
+// sequential words. Both paths are exact — identical Outcomes, delivered
+// sets and observations — so the choice is purely a performance decision and
+// determinism is preserved regardless of which path runs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace radio {
+
+/// Which execution path a round took (recorded into RoundStats).
+enum class RoundPath : std::uint8_t {
+  kSparse = 0,  ///< per-transmitter adjacency-list sweep
+  kDense = 1,   ///< word-parallel bitmap kernel
+};
+
+/// Adjacency bitmaps cost n·⌈n/64⌉·8 bytes; above this cap the auto path
+/// never builds one (≈ 1 GiB ⇒ n ≲ 92k nodes).
+inline constexpr std::size_t kDenseBitmapByteLimit = std::size_t{1} << 30;
+
+/// Σ deg(t) over the transmitter set — the sparse path's exact work measure.
+EdgeCount sum_transmitter_degrees(const Graph& g,
+                                  std::span<const NodeId> transmitters) noexcept;
+
+/// Cost model: true when the word-parallel kernel is expected to beat the
+/// sparse sweep. `sum_deg` is Σ deg(t); the kernel moves roughly
+/// (num_tx + 4)·⌈n/64⌉ words (accumulation plus the classification sweeps),
+/// and one sequential word op is calibrated at ~2 random neighbor touches.
+inline bool dense_round_pays(NodeId n, std::size_t num_tx,
+                             EdgeCount sum_deg) noexcept {
+  if (num_tx == 0) return false;
+  const auto wpr = static_cast<EdgeCount>((static_cast<std::size_t>(n) + 63) / 64);
+  const std::size_t bitmap_bytes =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(wpr) *
+      sizeof(std::uint64_t);
+  if (bitmap_bytes > kDenseBitmapByteLimit) return false;
+  return sum_deg > 2 * (static_cast<EdgeCount>(num_tx) + 4) * wpr;
+}
+
+/// The seen_once / seen_twice accumulator pair. Scratch is reused across
+/// rounds; accumulate() clears it first, so a round costs
+/// (|T| + O(1))·⌈n/64⌉ words with no per-round allocation after warm-up.
+class DenseRoundAccumulator {
+ public:
+  /// Folds every transmitter's adjacency row into the accumulators
+  /// (building the graph's bitmap cache on first use).
+  void accumulate(const Graph& g, std::span<const NodeId> transmitters);
+
+  std::span<const std::uint64_t> once_words() const noexcept {
+    return seen_once_.words();
+  }
+  std::span<const std::uint64_t> twice_words() const noexcept {
+    return seen_twice_.words();
+  }
+
+ private:
+  Bitset seen_once_;
+  Bitset seen_twice_;
+};
+
+/// Recovers the single transmitting neighbor of an exactly-one-hit listener
+/// by scanning row(w) & transmitting word by word.
+NodeId unique_transmitting_neighbor(const Graph& g, const Bitset& transmitting,
+                                    NodeId w) noexcept;
+
+}  // namespace radio

@@ -1,5 +1,8 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/assert.hpp"
 
 namespace radio {
@@ -20,7 +23,6 @@ RadioEngine::Outcome RadioEngine::step(std::span<const NodeId> transmitters,
                                        const Bitset& informed,
                                        std::vector<NodeId>& delivered) {
   RADIO_EXPECTS(informed.size() == graph_->num_nodes());
-  Outcome outcome;
 
   // Reset last round's observations before computing this round's (only the
   // entries that were written — never O(n)).
@@ -34,6 +36,29 @@ RadioEngine::Outcome RadioEngine::step(std::span<const NodeId> transmitters,
     RADIO_EXPECTS(!transmitting_.test(t));  // duplicates are caller bugs
     transmitting_.set(t);
   }
+
+  const bool dense =
+      path_mode_ == PathMode::kForceDense ||
+      (path_mode_ == PathMode::kAuto &&
+       dense_round_pays(graph_->num_nodes(), transmitters.size(),
+                        sum_transmitter_degrees(*graph_, transmitters)));
+  last_path_ = dense ? RoundPath::kDense : RoundPath::kSparse;
+
+  const Outcome outcome = dense ? step_dense(transmitters, informed, delivered)
+                                : step_sparse(transmitters, informed, delivered);
+
+  if (record_observations_)
+    for (NodeId t : transmitters) observe(t, ChannelObservation::kTransmitting);
+
+  for (NodeId t : transmitters) transmitting_.reset(t);
+  return outcome;
+}
+
+RadioEngine::Outcome RadioEngine::step_sparse(
+    std::span<const NodeId> transmitters, const Bitset& informed,
+    std::vector<NodeId>& delivered) {
+  Outcome outcome;
+  const std::size_t delivered_base = delivered.size();
 
   for (NodeId t : transmitters) {
     for (NodeId w : graph_->neighbors(t)) {
@@ -51,18 +76,12 @@ RadioEngine::Outcome RadioEngine::step(std::span<const NodeId> transmitters,
     if (transmitting_.test(w)) continue;  // transmitters never receive
     if (hits_[w] >= 2) {
       ++outcome.collisions;
-      if (record_observations_) {
-        observations_[w] = ChannelObservation::kCollision;
-        observed_.push_back(w);
-      }
+      if (record_observations_) observe(w, ChannelObservation::kCollision);
     } else {
       // Exactly one transmitting neighbor: reception succeeds. The message
       // is delivered only if that neighbor holds it.
       const NodeId sender = unique_sender_[w];
-      if (record_observations_) {
-        observations_[w] = ChannelObservation::kMessage;
-        observed_.push_back(w);
-      }
+      if (record_observations_) observe(w, ChannelObservation::kMessage);
       if (informed.test(sender)) {
         if (informed.test(w)) {
           ++outcome.redundant;
@@ -73,21 +92,55 @@ RadioEngine::Outcome RadioEngine::step(std::span<const NodeId> transmitters,
     }
   }
 
-  if (record_observations_) {
-    for (NodeId t : transmitters) {
-      observations_[t] = ChannelObservation::kTransmitting;
-      observed_.push_back(t);
-    }
-  }
-
   // Reset scratch via the touched lists (never O(n)).
   for (NodeId w : touched_) {
     hits_[w] = 0;
     unique_sender_[w] = kInvalidNode;
   }
   touched_.clear();
-  for (NodeId t : transmitters) transmitting_.reset(t);
 
+  // The dense path emits deliveries in ascending id order by construction;
+  // normalize here too so path choice can never leak into downstream state
+  // (e.g. the loss fault model draws per delivery, in order).
+  std::sort(delivered.begin() + static_cast<std::ptrdiff_t>(delivered_base),
+            delivered.end());
+  return outcome;
+}
+
+RadioEngine::Outcome RadioEngine::step_dense(
+    std::span<const NodeId> transmitters, const Bitset& informed,
+    std::vector<NodeId>& delivered) {
+  Outcome outcome;
+  dense_.accumulate(*graph_, transmitters);
+
+  const std::span<const std::uint64_t> once = dense_.once_words();
+  const std::span<const std::uint64_t> twice = dense_.twice_words();
+  const std::span<const std::uint64_t> tx = transmitting_.words();
+
+  for (std::size_t wi = 0; wi < once.size(); ++wi) {
+    const std::uint64_t listeners_colliding = andnot(twice[wi], tx[wi]);
+    const std::uint64_t listeners_unique =
+        andnot(andnot(once[wi], twice[wi]), tx[wi]);
+    outcome.collisions +=
+        static_cast<std::uint32_t>(std::popcount(listeners_colliding));
+    if (record_observations_)
+      for_each_set_bit(listeners_colliding, wi * 64, [&](std::size_t w) {
+        observe(static_cast<NodeId>(w), ChannelObservation::kCollision);
+      });
+    for_each_set_bit(listeners_unique, wi * 64, [&](std::size_t bit) {
+      const auto w = static_cast<NodeId>(bit);
+      if (record_observations_) observe(w, ChannelObservation::kMessage);
+      const NodeId sender =
+          unique_transmitting_neighbor(*graph_, transmitting_, w);
+      if (informed.test(sender)) {
+        if (informed.test(w)) {
+          ++outcome.redundant;
+        } else {
+          delivered.push_back(w);  // ascending by construction of the sweep
+        }
+      }
+    });
+  }
   return outcome;
 }
 

@@ -8,14 +8,30 @@
 // transmitters still jam the channel (needed verbatim by Theorem 6's relaxed
 // adversary, which lets arbitrary sets transmit).
 //
-// The engine owns scratch arrays sized to the graph so a round costs
-// O(Σ deg(t) over transmitters t) with no per-round allocation.
+// Execution paths. The engine owns two exact implementations of the round:
+//
+//   * SPARSE — per-transmitter adjacency-list sweep over scratch arrays
+//     sized to the graph: O(Σ deg(t) over transmitters t) with no per-round
+//     allocation. Optimal when transmitter neighborhoods are small.
+//   * DENSE — the word-parallel bitmap kernel (sim/channel_kernel.hpp):
+//     (|T| + O(1))·⌈n/64⌉ 64-bit word operations per round against the
+//     graph's lazily built adjacency bitmap. Optimal in the dense regime
+//     (§3.1 / E8), where Σ deg(t) approaches |T|·n.
+//
+// A per-round cost model (dense_round_pays) picks the cheaper path; tests
+// and benches can pin one with force_path(). DETERMINISM CONTRACT: both
+// paths produce bit-identical Outcome counters, identical delivered sets
+// (appended in ascending node id order) and identical observation buffers,
+// so path choice — like thread count — can never change simulation results;
+// same seed ⇒ same results. The differential property suite
+// (tests/property/test_dense_kernel.cpp) enforces this.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/channel_kernel.hpp"
 #include "util/bitset.hpp"
 
 namespace radio {
@@ -46,10 +62,24 @@ class RadioEngine {
     return observations_;
   }
 
+  /// Pins the execution path (differential tests, benches). Both paths are
+  /// exact, so this can never change results — only the round's cost.
+  void force_path(RoundPath path) noexcept {
+    path_mode_ = path == RoundPath::kDense ? PathMode::kForceDense
+                                           : PathMode::kForceSparse;
+  }
+
+  /// Restores cost-model path selection (the default).
+  void auto_path() noexcept { path_mode_ = PathMode::kAuto; }
+
+  /// Which path the most recent step() executed.
+  RoundPath last_path() const noexcept { return last_path_; }
+
   /// Executes one round. `transmitters` must be distinct node ids.
   /// `informed` is the pre-round informed set. Appends every listener that
   /// successfully receives THE MESSAGE this round to `delivered` (uninformed
-  /// listeners only — re-deliveries are counted, not appended).
+  /// listeners only — re-deliveries are counted, not appended), in ascending
+  /// node id order on both paths.
   struct Outcome {
     std::uint32_t collisions = 0;  ///< listeners jammed by >= 2 transmitters
     std::uint32_t redundant = 0;   ///< informed listeners that heard it again
@@ -60,11 +90,26 @@ class RadioEngine {
   const Graph& graph() const noexcept { return *graph_; }
 
  private:
+  enum class PathMode : std::uint8_t { kAuto, kForceSparse, kForceDense };
+
+  Outcome step_sparse(std::span<const NodeId> transmitters,
+                      const Bitset& informed, std::vector<NodeId>& delivered);
+  Outcome step_dense(std::span<const NodeId> transmitters,
+                     const Bitset& informed, std::vector<NodeId>& delivered);
+
+  void observe(NodeId v, ChannelObservation what) {
+    observations_[v] = what;
+    observed_.push_back(v);
+  }
+
   const Graph* graph_;
   std::vector<std::uint8_t> hits_;     ///< per node: 0, 1, or 2 (saturating)
   std::vector<NodeId> unique_sender_;  ///< valid when hits_ == 1
   Bitset transmitting_;
   std::vector<NodeId> touched_;        ///< nodes whose scratch needs reset
+  DenseRoundAccumulator dense_;        ///< dense-path accumulators (lazy)
+  PathMode path_mode_ = PathMode::kAuto;
+  RoundPath last_path_ = RoundPath::kSparse;
   bool record_observations_ = false;
   std::vector<ChannelObservation> observations_;
   std::vector<NodeId> observed_;       ///< nodes whose observation needs reset

@@ -85,6 +85,7 @@ const RoundStats& BroadcastSession::step(
   stats.collisions = outcome.collisions;
   stats.wasted = outcome.redundant;
   stats.informed_total = informed_count_;
+  stats.dense_kernel = engine_.last_path() == RoundPath::kDense;
   history_.push_back(stats);
   return history_.back();
 }

@@ -70,6 +70,11 @@ class BroadcastSession {
   /// Enables per-node channel observations (collision-detection extension).
   void enable_observations() { engine_.record_observations(true); }
 
+  /// Pins the engine's execution path (tests/benches only). Both paths are
+  /// exact — see the determinism contract in sim/engine.hpp.
+  void force_path(RoundPath path) noexcept { engine_.force_path(path); }
+  void auto_path() noexcept { engine_.auto_path(); }
+
   /// Valid after a step() when observations are enabled.
   std::span<const ChannelObservation> last_observations() const noexcept {
     return engine_.last_observations();

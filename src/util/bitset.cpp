@@ -4,6 +4,13 @@
 
 namespace radio {
 
+std::size_t popcount_words(const std::uint64_t* words, std::size_t n) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(std::popcount(words[i]));
+  return total;
+}
+
 std::size_t Bitset::count() const noexcept {
   std::size_t total = 0;
   for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));

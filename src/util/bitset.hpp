@@ -4,21 +4,74 @@
 // dependency. Only the operations the simulator needs are provided.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/assert.hpp"
 
 namespace radio {
 
+/// Number of 64-bit words needed to hold `n` bits.
+inline constexpr std::size_t words_for_bits(std::size_t n) noexcept {
+  return (n + 63) / 64;
+}
+
+// ---------------------------------------------------------------------------
+// Raw word-level primitives used by the dense-round channel kernel
+// (sim/channel_kernel.hpp). They operate on plain word arrays so adjacency
+// bitmap rows (spans into Graph's cache) and Bitset storage compose freely.
+// All bits past a bitset's logical size are guaranteed zero by Bitset's
+// mutators, so whole-word sweeps need no tail masking.
+// ---------------------------------------------------------------------------
+
+/// dst |= src, word by word.
+inline void or_words(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+/// a & ~b — the "listeners only" mask builder.
+inline std::uint64_t andnot(std::uint64_t a, std::uint64_t b) noexcept {
+  return a & ~b;
+}
+
+/// Saturating 2-bit counter update for one transmitter row:
+/// twice |= once & row; once |= row.
+inline void accumulate_hits_words(std::uint64_t* once, std::uint64_t* twice,
+                                  const std::uint64_t* row,
+                                  std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    twice[i] |= once[i] & row[i];
+    once[i] |= row[i];
+  }
+}
+
+/// Total population count of a word array.
+std::size_t popcount_words(const std::uint64_t* words, std::size_t n) noexcept;
+
+/// Calls fn(base + bit) for every set bit of `word`, ascending.
+template <class Fn>
+inline void for_each_set_bit(std::uint64_t word, std::size_t base, Fn&& fn) {
+  while (word != 0) {
+    fn(base + static_cast<std::size_t>(std::countr_zero(word)));
+    word &= word - 1;
+  }
+}
+
 class Bitset {
  public:
   Bitset() = default;
 
-  explicit Bitset(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+  explicit Bitset(std::size_t n) : size_(n), words_(words_for_bits(n), 0) {}
 
   std::size_t size() const noexcept { return size_; }
+
+  /// Word-level view for the dense kernel's whole-array sweeps.
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+  std::span<std::uint64_t> words() noexcept { return words_; }
 
   bool test(std::size_t i) const noexcept {
     RADIO_EXPECTS(i < size_);

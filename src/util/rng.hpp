@@ -48,12 +48,18 @@ class Xoshiro256StarStar {
     if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
   }
 
-  /// Deterministic sub-stream for trial `stream`: hashes (seed, stream)
-  /// through SplitMix64 so neighbouring streams are uncorrelated.
+  /// Deterministic sub-stream for trial `stream`: hashes seed and stream
+  /// through SplitMix64 SEQUENTIALLY — the seed gets a full avalanche before
+  /// the stream index is injected, then the combination is scrambled again.
+  /// (The previous `seed ^ (c·(stream+1))` pre-mix let distinct
+  /// (seed, stream) pairs collide trivially, e.g. (s, 0) and (s ^ c·3, 1);
+  /// after the avalanche such collisions are no longer constructible.)
+  /// The golden values in tests/util/test_rng.cpp pin this derivation.
   static Xoshiro256StarStar for_stream(std::uint64_t seed,
                                        std::uint64_t stream) noexcept {
-    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
-    return Xoshiro256StarStar(sm.next());
+    SplitMix64 seed_mix(seed);
+    SplitMix64 pair_mix(seed_mix.next() ^ stream);
+    return Xoshiro256StarStar(pair_mix.next());
   }
 
   result_type operator()() noexcept {

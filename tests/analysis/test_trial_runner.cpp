@@ -1,0 +1,64 @@
+// run_trials: exception safety across the OpenMP parallel region, trial
+// ordering, and the per-stream determinism contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/trial_runner.hpp"
+
+namespace radio {
+namespace {
+
+TEST(TrialRunner, ResultsAreInTrialOrder) {
+  const std::vector<int> r =
+      run_trials<int>(16, 1, [](int i, Rng&) { return i * 10; });
+  ASSERT_EQ(r.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r[static_cast<std::size_t>(i)], i * 10);
+}
+
+TEST(TrialRunner, SameSeedSameResultsAnyThreadCount) {
+  const auto draw = [](int, Rng& rng) { return rng(); };
+  const std::vector<std::uint64_t> a = run_trials<std::uint64_t>(64, 99, draw);
+  const std::vector<std::uint64_t> b = run_trials<std::uint64_t>(64, 99, draw);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TrialRunner, ThrowingTrialSurfacesAsCatchableException) {
+  // Before the fix the exception escaped the OpenMP region and called
+  // std::terminate, aborting the whole process instead of reaching the
+  // caller's catch. This whole test existing (and not killing the binary)
+  // is the regression check.
+  EXPECT_THROW(run_trials<int>(32, 7,
+                               [](int i, Rng&) -> int {
+                                 if (i == 13) throw std::runtime_error("boom");
+                                 return i;
+                               }),
+               std::runtime_error);
+}
+
+TEST(TrialRunner, ExceptionMessageIsPreserved) {
+  try {
+    run_trials<int>(8, 7, [](int, Rng&) -> int {
+      throw std::runtime_error("trial 3 diverged");
+    });
+    FAIL() << "expected run_trials to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 3 diverged");
+  }
+}
+
+TEST(TrialRunner, AllTrialsThrowingStillRaisesExactlyOne) {
+  EXPECT_THROW(run_trials_double(
+                   16, 3, [](int, Rng&) -> double { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(TrialRunner, ZeroTrialsReturnsEmpty) {
+  const std::vector<int> r = run_trials<int>(0, 5, [](int, Rng&) { return 1; });
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace radio

@@ -115,6 +115,37 @@ TEST(Gnm, DensePathNearComplete) {
   EXPECT_EQ(g.num_edges(), all - 10);
 }
 
+// n = 30 has 435 pairs, so m = 100 takes the direct sampling branch and
+// m = 400 the complement branch. Both must produce EXACTLY m edges of a
+// simple graph (the reserve-size fix touched both branches' setup code).
+TEST(Gnm, BothBranchesExactAndSimple) {
+  Rng rng(20);
+  const NodeId n = 30;
+  for (const EdgeCount m : {EdgeCount{100}, EdgeCount{400}}) {
+    const Graph g = generate_gnm(n, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+    EXPECT_EQ(g.num_nodes(), n);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        EXPECT_NE(nbrs[i], v);
+        if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      }
+    }
+  }
+}
+
+// Exactly the half-pairs boundary and one edge to either side.
+TEST(Gnm, BranchBoundaryEdgeCounts) {
+  Rng rng(21);
+  const NodeId n = 30;
+  const EdgeCount total = 30ULL * 29ULL / 2ULL;  // 435
+  for (const EdgeCount m : {total / 2 - 1, total / 2, total / 2 + 1}) {
+    const Graph g = generate_gnm(n, m, rng);
+    EXPECT_EQ(g.num_edges(), m);
+  }
+}
+
 TEST(Gnm, Deterministic) {
   Rng a(14), b(14);
   const Graph g1 = generate_gnm(200, 1000, a);

@@ -130,6 +130,98 @@ TEST(Engine, ThreeTransmittersSaturatingCollision) {
   EXPECT_TRUE(delivered.empty());
 }
 
+// The semantic edge cases above run on the sparse path (tiny graphs never
+// satisfy the cost model). The dense kernel must honor the exact same model,
+// so the load-bearing ones are repeated with the path pinned to kDense.
+
+TEST(EngineDense, UninformedTransmitterJamsButDeliversNothing) {
+  const Graph g = Graph::from_edges(3, {{0, 2}, {1, 2}});
+  RadioEngine engine(g);
+  engine.force_path(RoundPath::kDense);
+  const Bitset informed = informed_set(3, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0, 1};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_EQ(engine.last_path(), RoundPath::kDense);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(outcome.collisions, 1u);
+}
+
+TEST(EngineDense, UninformedSoleTransmitterDeliversNothing) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  RadioEngine engine(g);
+  engine.force_path(RoundPath::kDense);
+  const Bitset informed = informed_set(2, {});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0};
+  engine.step(tx, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+}
+
+TEST(EngineDense, TransmitterNeverReceives) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  RadioEngine engine(g);
+  engine.force_path(RoundPath::kDense);
+  const Bitset informed = informed_set(2, {0});
+  std::vector<NodeId> delivered;
+  const std::vector<NodeId> tx = {0, 1};
+  const auto outcome = engine.step(tx, informed, delivered);
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(outcome.collisions, 0u);
+  EXPECT_EQ(outcome.redundant, 0u);
+}
+
+TEST(EngineDense, AccumulatorsResetBetweenRounds) {
+  // The once/twice bitmaps are reused across rounds; stale bits from round 1
+  // would fabricate collisions in round 2.
+  const Graph g = star();
+  RadioEngine engine(g);
+  engine.force_path(RoundPath::kDense);
+  const Bitset informed = informed_set(5, {0, 1});
+  std::vector<NodeId> delivered;
+  std::vector<NodeId> tx = {0, 1};
+  engine.step(tx, informed, delivered);
+  EXPECT_EQ(delivered, (std::vector<NodeId>{2, 3, 4}));
+  delivered.clear();
+  const Bitset informed2 = informed_set(5, {1});
+  tx = {1};
+  const auto outcome = engine.step(tx, informed2, delivered);
+  EXPECT_EQ(delivered, (std::vector<NodeId>{0}));
+  EXPECT_EQ(outcome.collisions, 0u);
+}
+
+TEST(EngineDense, ObservationsResetAcrossPathFlips) {
+  // Record observations through sparse -> dense -> sparse rounds: each round
+  // must start from all-silence, regardless of which path wrote last.
+  const Graph g = star();
+  RadioEngine engine(g);
+  engine.record_observations(true);
+  const Bitset informed = informed_set(5, {0});
+  std::vector<NodeId> delivered;
+
+  engine.force_path(RoundPath::kSparse);
+  std::vector<NodeId> tx = {0};
+  engine.step(tx, informed, delivered);
+  for (NodeId v = 1; v < 5; ++v)
+    EXPECT_EQ(engine.last_observations()[v], ChannelObservation::kMessage);
+
+  engine.force_path(RoundPath::kDense);
+  delivered.clear();
+  tx = {1};  // leaf transmits: only the center hears anything
+  engine.step(tx, informed, delivered);
+  EXPECT_EQ(engine.last_observations()[0], ChannelObservation::kMessage);
+  EXPECT_EQ(engine.last_observations()[1], ChannelObservation::kTransmitting);
+  for (NodeId v = 2; v < 5; ++v)
+    EXPECT_EQ(engine.last_observations()[v], ChannelObservation::kSilence)
+        << "stale observation surviving path flip at node " << v;
+
+  engine.force_path(RoundPath::kSparse);
+  delivered.clear();
+  engine.step({}, informed, delivered);
+  for (NodeId v = 0; v < 5; ++v)
+    EXPECT_EQ(engine.last_observations()[v], ChannelObservation::kSilence);
+}
+
 TEST(EngineDeathTest, DuplicateTransmitterRejected) {
   const Graph g = star();
   RadioEngine engine(g);

@@ -149,6 +149,72 @@ TEST(BitsetDeathTest, SetUnionSizeMismatchRejected) {
   EXPECT_DEATH(a.set_union(b), "precondition");
 }
 
+// --- word-level primitives used by the dense-round channel kernel ---
+
+TEST(WordOps, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+TEST(WordOps, OrWords) {
+  std::uint64_t dst[2] = {0b0101, 0};
+  const std::uint64_t src[2] = {0b0011, std::uint64_t{1} << 63};
+  or_words(dst, src, 2);
+  EXPECT_EQ(dst[0], 0b0111u);
+  EXPECT_EQ(dst[1], std::uint64_t{1} << 63);
+}
+
+TEST(WordOps, Andnot) {
+  EXPECT_EQ(andnot(0b1100, 0b1010), 0b0100u);
+  EXPECT_EQ(andnot(~0ULL, 0), ~0ULL);
+  EXPECT_EQ(andnot(~0ULL, ~0ULL), 0u);
+}
+
+TEST(WordOps, AccumulateHitsSaturatesAtTwo) {
+  // Fold three rows: a bit hit once lands in `once` only; hit twice or more
+  // also lands in `twice` and stays there.
+  std::uint64_t once[1] = {0}, twice[1] = {0};
+  const std::uint64_t row_a[1] = {0b0111};
+  const std::uint64_t row_b[1] = {0b0011};
+  const std::uint64_t row_c[1] = {0b0001};
+  accumulate_hits_words(once, twice, row_a, 1);
+  accumulate_hits_words(once, twice, row_b, 1);
+  accumulate_hits_words(once, twice, row_c, 1);
+  EXPECT_EQ(once[0], 0b0111u);   // every bit hit at least once
+  EXPECT_EQ(twice[0], 0b0011u);  // bits 0 and 1 hit two-plus times
+  EXPECT_EQ(andnot(once[0], twice[0]), 0b0100u);  // exactly-once mask
+}
+
+TEST(WordOps, PopcountWords) {
+  const std::uint64_t words[3] = {~0ULL, 0, 0b1011};
+  EXPECT_EQ(popcount_words(words, 3), 64u + 3u);
+  EXPECT_EQ(popcount_words(words, 0), 0u);
+}
+
+TEST(WordOps, ForEachSetBitAscendingWithBase) {
+  std::vector<std::size_t> seen;
+  for_each_set_bit((std::uint64_t{1} << 63) | 0b1001, 128,
+                   [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{128, 131, 191}));
+  for_each_set_bit(0, 0, [&](std::size_t) { FAIL() << "no bits set"; });
+}
+
+TEST(Bitset, WordsViewTailBitsStayZero) {
+  // The kernel sweeps whole words without tail masking; Bitset must never
+  // leak set bits past its logical size.
+  Bitset b(70);
+  for (std::size_t i = 0; i < 70; ++i) b.set(i);
+  const auto w = b.words();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], ~0ULL);
+  EXPECT_EQ(w[1], (std::uint64_t{1} << 6) - 1);
+  EXPECT_EQ(popcount_words(w.data(), w.size()), 70u);
+}
+
 TEST(Bitset, CountMatchesManualTallyOnPattern) {
   Bitset b(1000);
   std::size_t expected = 0;

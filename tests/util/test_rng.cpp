@@ -46,6 +46,62 @@ TEST(Xoshiro, StreamIsReproducible) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
 }
 
+// Golden values pinning the for_stream derivation (SplitMix64 over the seed,
+// then over avalanche(seed) ^ stream). Any change to the mixing — intentional
+// or not — invalidates every published experiment seed, so it must show up
+// here, not in silently shifted Monte-Carlo numbers.
+TEST(Xoshiro, ForStreamGoldenValues) {
+  const struct {
+    std::uint64_t seed, stream;
+    std::uint64_t expect[3];
+  } cases[] = {
+      {42, 0,
+       {0xc986fd807e5b8ab5ULL, 0xe071ea15f19664d1ULL, 0x728624137f1e7291ULL}},
+      {42, 1,
+       {0xbdfd821062a087dbULL, 0x06c2e1f34acfb9e1ULL, 0x0c7ca92e2905572bULL}},
+      {42, 17,
+       {0xb67173f68f6161daULL, 0x12648f4246042f79ULL, 0x79f03f72c463ab66ULL}},
+      {0, 0,
+       {0x8c4986f3f0e565d5ULL, 0xf4547fdf5c2f56b6ULL, 0x6a9e0d6a14f022fbULL}},
+      {3735928559ULL, 123456789ULL,
+       {0xd460081295710f25ULL, 0xb0bae48ef3f6e24eULL, 0x2da12c7fb6820ffbULL}},
+  };
+  for (const auto& c : cases) {
+    Rng rng = Rng::for_stream(c.seed, c.stream);
+    for (const std::uint64_t want : c.expect)
+      EXPECT_EQ(rng(), want) << "seed=" << c.seed << " stream=" << c.stream;
+  }
+}
+
+// The previous derivation pre-mixed `seed ^ (c * (stream + 1))` with
+// c = 0x9e3779b97f4a7c15 (the SplitMix64 increment), so (s, 0) and
+// (s ^ c ^ 2c, 1) fed IDENTICAL state to the generator: whole trial streams
+// collided for related seeds. The sequential avalanche makes the old
+// collision pair diverge.
+TEST(Xoshiro, ForStreamOldCollisionPairDiverges) {
+  constexpr std::uint64_t c = 0x9e3779b97f4a7c15ULL;
+  for (const std::uint64_t s : {0ULL, 42ULL, 0xdeadbeefULL, ~0ULL}) {
+    Rng a = Rng::for_stream(s, 0);
+    Rng b = Rng::for_stream(s ^ c ^ (2 * c), 1);
+    int equal = 0;
+    for (int i = 0; i < 256; ++i)
+      if (a() == b()) ++equal;
+    EXPECT_LE(equal, 1) << "seed " << s;
+  }
+}
+
+// Adjacent seeds with adjacent streams must not alias either (a weaker but
+// broader collision sweep than the constructed pair above).
+TEST(Xoshiro, ForStreamNearbyPairsAreDistinct) {
+  std::vector<std::uint64_t> first_draws;
+  for (std::uint64_t seed = 0; seed < 8; ++seed)
+    for (std::uint64_t stream = 0; stream < 8; ++stream)
+      first_draws.push_back(Rng::for_stream(seed, stream)());
+  std::sort(first_draws.begin(), first_draws.end());
+  EXPECT_EQ(std::adjacent_find(first_draws.begin(), first_draws.end()),
+            first_draws.end());
+}
+
 TEST(Xoshiro, UniformIsInUnitInterval) {
   Rng rng(3);
   for (int i = 0; i < 10000; ++i) {
