@@ -1,33 +1,38 @@
-// Shared main() for the experiment bench binaries: run the registered
-// microbenchmarks, then regenerate the experiment table.
+// Shared main() for the per-experiment bench binaries: run the registered
+// microbenchmarks, then regenerate the experiment table. The experiment is
+// resolved through the ExperimentRegistry — these binaries are thin legacy
+// wrappers around the same driver `radio_bench` runs; use `radio_bench` for
+// multi-experiment runs and structured manifests (docs/experiments.md).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include "analysis/experiment_config.hpp"
-#include "analysis/experiments.hpp"
+#include <cstdio>
+
+#include "analysis/experiment_registry.hpp"
 
 namespace radio::benchutil {
 
-using ExperimentFn = ExperimentResult (*)(const ExperimentConfig&);
-
-inline int run_bench_main(int argc, char** argv, const char* experiment_id,
-                          ExperimentFn experiment) {
+inline int run_bench_main(int argc, char** argv, const char* experiment_id) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  const ExperimentEntry* entry = ExperimentRegistry::find(experiment_id);
+  if (!entry) {
+    std::fprintf(stderr, "experiment '%s' is not registered\n", experiment_id);
+    return 1;
+  }
   const ExperimentConfig config =
       ExperimentConfig::from_environment(experiment_id);
-  experiment(config).present(config);
+  entry->fn(config).present(config);
   return 0;
 }
 
 }  // namespace radio::benchutil
 
-#define RADIO_BENCH_MAIN(experiment_id, experiment_fn)                  \
-  int main(int argc, char** argv) {                                    \
-    return ::radio::benchutil::run_bench_main(argc, argv, experiment_id, \
-                                              experiment_fn);          \
+#define RADIO_BENCH_MAIN(experiment_id)                                   \
+  int main(int argc, char** argv) {                                       \
+    return ::radio::benchutil::run_bench_main(argc, argv, experiment_id); \
   }

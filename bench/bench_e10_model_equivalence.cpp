@@ -25,4 +25,4 @@ BENCHMARK(BM_GenerateGnm)->Arg(1 << 12)->Arg(1 << 14);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e10", radio::run_e10_model_equivalence)
+RADIO_BENCH_MAIN("e10")

@@ -36,4 +36,4 @@ BENCHMARK(BM_FaultedSessionRound);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e11", radio::run_e11_fault_robustness)
+RADIO_BENCH_MAIN("e11")

@@ -33,4 +33,4 @@ BENCHMARK(BM_GossipRound)->Arg(1 << 9)->Arg(1 << 11);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e12", radio::run_e12_gossip_scaling)
+RADIO_BENCH_MAIN("e12")

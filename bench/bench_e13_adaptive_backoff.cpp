@@ -34,4 +34,4 @@ BENCHMARK(BM_ObservedSessionRound)->Arg(0)->Arg(1);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e13", radio::run_e13_adaptive_backoff)
+RADIO_BENCH_MAIN("e13")

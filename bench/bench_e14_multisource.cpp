@@ -33,4 +33,4 @@ BENCHMARK(BM_MultiSourceFirstRounds)->Arg(1)->Arg(16)->Arg(256);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e14", radio::run_e14_multisource)
+RADIO_BENCH_MAIN("e14")

@@ -28,4 +28,4 @@ BENCHMARK(BM_MakeRandomRegular)->Arg(1 << 10)->Arg(1 << 13);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e15", radio::run_e15_structured_topologies)
+RADIO_BENCH_MAIN("e15")

@@ -33,4 +33,4 @@ BENCHMARK(BM_BuildCentralizedSchedule)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14)
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e1", radio::run_e1_centralized_scaling)
+RADIO_BENCH_MAIN("e1")

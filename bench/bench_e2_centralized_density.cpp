@@ -34,4 +34,4 @@ BENCHMARK(BM_GenerateGnpDense)->Arg(1 << 9)->Arg(1 << 11);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e2", radio::run_e2_centralized_density)
+RADIO_BENCH_MAIN("e2")

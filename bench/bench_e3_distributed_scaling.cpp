@@ -35,4 +35,4 @@ BENCHMARK(BM_DistributedBroadcast)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e3", radio::run_e3_distributed_scaling)
+RADIO_BENCH_MAIN("e3")

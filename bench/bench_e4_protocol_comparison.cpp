@@ -38,4 +38,4 @@ BENCHMARK(BM_RadioEngineRound)->Arg(10)->Arg(100)->Arg(500);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e4", radio::run_e4_protocol_comparison)
+RADIO_BENCH_MAIN("e4")

@@ -47,4 +47,4 @@ BENCHMARK(BM_LayerProbe)->Arg(1 << 12)->Arg(1 << 14);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e5", radio::run_e5_layer_structure)
+RADIO_BENCH_MAIN("e5")

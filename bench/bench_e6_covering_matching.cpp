@@ -61,4 +61,4 @@ BENCHMARK(BM_PrivateNeighborMatching)->Arg(64)->Arg(256);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e6", radio::run_e6_covering_matching)
+RADIO_BENCH_MAIN("e6")

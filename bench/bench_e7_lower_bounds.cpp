@@ -51,4 +51,4 @@ BENCHMARK(BM_SmallSetAdversary)->Arg(16)->Arg(64);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e7", radio::run_e7_lower_bounds)
+RADIO_BENCH_MAIN("e7")

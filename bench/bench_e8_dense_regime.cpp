@@ -63,4 +63,4 @@ BENCHMARK(BM_DenseCentralizedBuild)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e8", radio::run_e8_dense_regime)
+RADIO_BENCH_MAIN("e8")

@@ -43,4 +43,4 @@ BENCHMARK(BM_BuildWithOptions)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 
-RADIO_BENCH_MAIN("e9", radio::run_e9_phase_ablation)
+RADIO_BENCH_MAIN("e9")

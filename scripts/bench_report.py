@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Fold radio_bench run manifests into the BENCH_run.json perf trajectory.
+
+Reads every ``*.manifest.json`` a ``radio_bench run ... --out DIR`` left in
+DIR (schema: DESIGN.md "Observability & provenance") and either
+
+  * validates them (``--check``): each manifest parses, carries the expected
+    schema version, and the directory covers all 15 experiment ids — the CI
+    smoke gate wired into scripts/ci.sh; or
+  * appends one trajectory entry to a ``BENCH_run.json`` file
+    (``--bench-json PATH``): per-experiment wall-clock and row counts plus
+    shared provenance, the repo's perf record future PRs regress against.
+
+Standard library only; no third-party imports.
+
+Usage:
+  python3 scripts/bench_report.py --check OUT_DIR
+  python3 scripts/bench_report.py OUT_DIR --bench-json BENCH_run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA_VERSION = 1
+EXPECTED_IDS = [f"E{i}" for i in range(1, 16)]
+REQUIRED_KEYS = (
+    "schema_version",
+    "id",
+    "title",
+    "config",
+    "provenance",
+    "wall_seconds",
+    "table",
+    "fits",
+    "notes",
+)
+
+
+def load_manifests(out_dir: pathlib.Path) -> dict[str, dict]:
+    """Parses every *.manifest.json in out_dir, keyed by experiment id."""
+    manifests: dict[str, dict] = {}
+    paths = sorted(out_dir.glob("*.manifest.json"))
+    if not paths:
+        raise SystemExit(f"error: no *.manifest.json files in {out_dir}")
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            raise SystemExit(f"error: {path} is not valid JSON: {err}")
+        missing = [key for key in REQUIRED_KEYS if key not in doc]
+        if missing:
+            raise SystemExit(f"error: {path} is missing keys {missing}")
+        if doc["schema_version"] != SCHEMA_VERSION:
+            raise SystemExit(
+                f"error: {path} has schema_version {doc['schema_version']},"
+                f" expected {SCHEMA_VERSION}")
+        if doc["id"] in manifests:
+            raise SystemExit(f"error: duplicate manifest for {doc['id']}")
+        manifests[doc["id"]] = doc
+    return manifests
+
+
+def check(manifests: dict[str, dict]) -> None:
+    """The CI smoke gate: all 15 experiments present with populated tables."""
+    missing = [eid for eid in EXPECTED_IDS if eid not in manifests]
+    if missing:
+        raise SystemExit(f"error: manifests missing experiments {missing}")
+    extra = [eid for eid in manifests if eid not in EXPECTED_IDS]
+    if extra:
+        raise SystemExit(f"error: unexpected experiment ids {extra}")
+    for eid, doc in manifests.items():
+        if not doc["table"]["rows"]:
+            raise SystemExit(f"error: {eid} manifest has an empty table")
+        if len(doc["table"]["columns"]) == 0:
+            raise SystemExit(f"error: {eid} manifest has no columns")
+    print(f"ok: {len(manifests)} manifests valid "
+          f"({', '.join(sorted(manifests, key=lambda e: int(e[1:])))})")
+
+
+def trajectory_entry(manifests: dict[str, dict]) -> dict:
+    """One BENCH_run.json entry summarizing a full radio_bench run."""
+    ordered = sorted(manifests.values(), key=lambda d: int(d["id"][1:]))
+    provenance = ordered[0]["provenance"]
+    config = ordered[0]["config"]
+    entry = {
+        "generated_at": provenance.get("generated_at", "unknown"),
+        "git": provenance.get("git", "unknown"),
+        "compiler": provenance.get("compiler", "unknown"),
+        "openmp_threads": provenance.get("openmp_threads", 0),
+        "config": {
+            "trials": config.get("trials"),
+            "seed": config.get("seed"),
+            "quick": config.get("quick"),
+        },
+        "total_wall_seconds": round(
+            sum(d["wall_seconds"] for d in ordered), 3),
+        "experiments": {
+            d["id"]: {
+                "wall_seconds": round(d["wall_seconds"], 3),
+                "rows": len(d["table"]["rows"]),
+                "fits": [
+                    {
+                        "label": fit["label"],
+                        "model": fit["model"],
+                        "r_squared": fit["r_squared"],
+                    }
+                    for fit in d["fits"]
+                ],
+            }
+            for d in ordered
+        },
+    }
+    return entry
+
+
+def append_entry(bench_json: pathlib.Path, entry: dict) -> None:
+    if bench_json.exists():
+        history = json.loads(bench_json.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"error: {bench_json} is not a JSON array")
+    else:
+        history = []
+    history.append(entry)
+    bench_json.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"ok: appended entry ({len(entry['experiments'])} experiments, "
+          f"{entry['total_wall_seconds']}s) to {bench_json}; "
+          f"{len(history)} entries total")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out_dir", type=pathlib.Path,
+                        help="directory radio_bench wrote manifests to")
+    parser.add_argument("--check", action="store_true",
+                        help="validate manifests (all 15 ids) and exit")
+    parser.add_argument("--bench-json", type=pathlib.Path,
+                        help="append a trajectory entry to this file")
+    args = parser.parse_args(argv)
+
+    if not args.out_dir.is_dir():
+        raise SystemExit(f"error: {args.out_dir} is not a directory")
+    manifests = load_manifests(args.out_dir)
+
+    if args.check:
+        check(manifests)
+        return 0
+    if args.bench_json is None:
+        raise SystemExit("error: pass --check or --bench-json PATH")
+    append_entry(args.bench_json, trajectory_entry(manifests))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification from a clean tree (the line ROADMAP.md pins):
-# configure, build, run the full gtest suite via ctest.
+# configure, build, run the full gtest suite via ctest, then smoke the
+# unified experiment runner — `radio_bench run --all` on a tiny trial budget
+# must emit 15 manifests that scripts/bench_report.py validates. This gates
+# registry completeness and manifest well-formedness, not performance.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -12,3 +15,9 @@ rm -rf "$BUILD_DIR"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+"$BUILD_DIR/bench/radio_bench" run --all --trials 2 --seed 7 --quick \
+  --out "$SMOKE_DIR" > "$SMOKE_DIR/stdout.txt"
+python3 scripts/bench_report.py --check "$SMOKE_DIR"

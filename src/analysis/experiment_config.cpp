@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 namespace radio {
 
@@ -20,9 +21,25 @@ ExperimentConfig ExperimentConfig::from_environment(
   return config;
 }
 
+void ExperimentResult::note(std::string text) {
+  notes.push_back(ExperimentNote{std::move(text), std::nullopt});
+}
+
+void ExperimentResult::note_fit(std::string text, ModelFitNote fit) {
+  notes.push_back(ExperimentNote{std::move(text), std::move(fit)});
+}
+
+std::vector<const ModelFitNote*> ExperimentResult::fits() const {
+  std::vector<const ModelFitNote*> out;
+  for (const ExperimentNote& n : notes)
+    if (n.fit) out.push_back(&*n.fit);
+  return out;
+}
+
 void ExperimentResult::present(const ExperimentConfig& config) const {
   table.print(id + " — " + title);
-  for (const std::string& note : notes) std::printf("  %s\n", note.c_str());
+  for (const ExperimentNote& n : notes)
+    std::printf("  %s\n", n.text.c_str());
   if (!config.csv_path.empty()) {
     if (table.write_csv(config.csv_path))
       std::printf("  [csv written to %s]\n", config.csv_path.c_str());

@@ -1,8 +1,10 @@
 // Shared experiment configuration and the result bundle every E* driver
-// returns (a table for stdout/CSV plus free-form notes such as model fits).
+// returns: a table for stdout/CSV plus typed notes (model fits carry their
+// coefficients and R² so manifests can record them structurally).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,14 +20,48 @@ struct ExperimentConfig {
 
   /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR from the
   /// environment so bench binaries can be scaled up without rebuilds.
+  /// `radio_bench` layers its CLI flags on top of this (bench_cli.hpp).
   static ExperimentConfig from_environment(const std::string& experiment_id);
 };
 
+/// One named coefficient of a fitted model, e.g. {"ln n", 2.45}.
+struct FitCoefficient {
+  std::string term;
+  double value = 0.0;
+};
+
+/// A model fit in structured form. The stdout rendering stays the driver's
+/// responsibility (ExperimentNote::text, byte-stable across releases); this
+/// is the machine-readable mirror that lands in run manifests.
+struct ModelFitNote {
+  std::string label;  ///< which fit, e.g. "all-informed tail"; "" if only one
+  std::string model;  ///< formula shape, e.g. "a*ln n + b"
+  std::vector<FitCoefficient> coefficients;
+  double r_squared = 0.0;
+};
+
+/// A result note: the exact line printed under the table, plus an optional
+/// typed payload when the note reports a model fit.
+struct ExperimentNote {
+  std::string text;
+  std::optional<ModelFitNote> fit;
+};
+
 struct ExperimentResult {
-  std::string id;                  ///< "E1" … "E9"
+  std::string id;    ///< "E1" … "E15"
   std::string title;
   Table table;
-  std::vector<std::string> notes;  ///< fits, pass/fail shape checks, caveats
+  std::vector<ExperimentNote> notes;  ///< fits, shape checks, caveats
+
+  /// Appends a prose note (shape check, caveat, reading guide).
+  void note(std::string text);
+
+  /// Appends a fit note: `text` is the exact stdout line, `fit` the typed
+  /// coefficients/R² recorded in manifests.
+  void note_fit(std::string text, ModelFitNote fit);
+
+  /// The typed fits among the notes, in note order.
+  std::vector<const ModelFitNote*> fits() const;
 
   /// Prints the table and notes; writes CSV if configured.
   void present(const ExperimentConfig& config) const;

@@ -1,0 +1,106 @@
+#include "analysis/experiment_registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace radio {
+namespace detail {
+
+// Link-time anchors defined by RADIO_REGISTER_EXPERIMENT in each driver.
+// Referencing them here forces every driver object file (and its static
+// registrar) out of libradio_analysis.a into any binary that touches the
+// registry. A driver missing from this list would silently vanish from
+// registry-only binaries — tests/analysis/test_registry.cpp counts to 15.
+void experiment_anchor_e1();
+void experiment_anchor_e2();
+void experiment_anchor_e3();
+void experiment_anchor_e4();
+void experiment_anchor_e5();
+void experiment_anchor_e6();
+void experiment_anchor_e7();
+void experiment_anchor_e8();
+void experiment_anchor_e9();
+void experiment_anchor_e10();
+void experiment_anchor_e11();
+void experiment_anchor_e12();
+void experiment_anchor_e13();
+void experiment_anchor_e14();
+void experiment_anchor_e15();
+
+namespace {
+
+void touch_all_anchors() {
+  experiment_anchor_e1();
+  experiment_anchor_e2();
+  experiment_anchor_e3();
+  experiment_anchor_e4();
+  experiment_anchor_e5();
+  experiment_anchor_e6();
+  experiment_anchor_e7();
+  experiment_anchor_e8();
+  experiment_anchor_e9();
+  experiment_anchor_e10();
+  experiment_anchor_e11();
+  experiment_anchor_e12();
+  experiment_anchor_e13();
+  experiment_anchor_e14();
+  experiment_anchor_e15();
+}
+
+}  // namespace
+}  // namespace detail
+
+namespace {
+
+std::string canonical_id(const std::string& id) {
+  std::string out = id;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+/// Numeric ordinal of "E<k>"; 0 for anything else (sorts first).
+int ordinal(const std::string& id) {
+  if (id.size() < 2 || id[0] != 'E') return 0;
+  int value = 0;
+  for (std::size_t i = 1; i < id.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(id[i]))) return 0;
+    value = value * 10 + (id[i] - '0');
+  }
+  return value;
+}
+
+std::vector<ExperimentEntry>& storage() {
+  static std::vector<ExperimentEntry> entries;
+  return entries;
+}
+
+}  // namespace
+
+void ExperimentRegistry::register_experiment(const char* id, const char* title,
+                                             ExperimentFn fn) {
+  const std::string canonical = canonical_id(id);
+  for (const ExperimentEntry& entry : storage())
+    if (entry.id == canonical)
+      throw std::logic_error("duplicate experiment id: " + canonical);
+  storage().push_back(ExperimentEntry{canonical, title, fn});
+  std::sort(storage().begin(), storage().end(),
+            [](const ExperimentEntry& a, const ExperimentEntry& b) {
+              return ordinal(a.id) < ordinal(b.id);
+            });
+}
+
+const std::vector<ExperimentEntry>& ExperimentRegistry::all() {
+  detail::touch_all_anchors();
+  return storage();
+}
+
+const ExperimentEntry* ExperimentRegistry::find(const std::string& id) {
+  const std::string canonical = canonical_id(id);
+  for (const ExperimentEntry& entry : all())
+    if (entry.id == canonical) return &entry;
+  return nullptr;
+}
+
+}  // namespace radio

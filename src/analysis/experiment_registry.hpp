@@ -1,0 +1,62 @@
+// Static registry of the experiment drivers E1…E15.
+//
+// Each driver translation unit registers itself with
+// RADIO_REGISTER_EXPERIMENT at static-initialization time; the unified
+// `radio_bench` runner and the thin per-experiment bench wrappers resolve
+// experiments by id instead of hard-linking driver functions. Because the
+// drivers live in a static library, the registry keeps one link-time anchor
+// per driver (ensure_linked) so their registrar objects are never dropped
+// by the linker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment_config.hpp"
+
+namespace radio {
+
+using ExperimentFn = ExperimentResult (*)(const ExperimentConfig&);
+
+struct ExperimentEntry {
+  std::string id;     ///< canonical uppercase id, "E1" … "E15"
+  std::string title;  ///< one-line title, identical to ExperimentResult::title
+  ExperimentFn fn = nullptr;
+};
+
+class ExperimentRegistry {
+ public:
+  /// All registered experiments, sorted by numeric id (E1, E2, …, E15).
+  static const std::vector<ExperimentEntry>& all();
+
+  /// Case-insensitive lookup ("e10" and "E10" both match); nullptr if absent.
+  static const ExperimentEntry* find(const std::string& id);
+
+  /// Called by detail::ExperimentRegistrar; asserts the id is unique.
+  static void register_experiment(const char* id, const char* title,
+                                  ExperimentFn fn);
+};
+
+namespace detail {
+
+struct ExperimentRegistrar {
+  ExperimentRegistrar(const char* id, const char* title, ExperimentFn fn) {
+    ExperimentRegistry::register_experiment(id, title, fn);
+  }
+};
+
+}  // namespace detail
+}  // namespace radio
+
+/// Registers `fn` under `id` (e.g. "E1"). `anchor` is a lowercase token
+/// unique per driver (e1 … e15); it names the link-time anchor the registry
+/// references so the driver's object file — and with it this registrar —
+/// always makes it into the final binary. Use at radio namespace scope.
+#define RADIO_REGISTER_EXPERIMENT(anchor, id, title, fn)               \
+  namespace detail {                                                   \
+  void experiment_anchor_##anchor() {}                                 \
+  }                                                                    \
+  namespace {                                                          \
+  const ::radio::detail::ExperimentRegistrar                           \
+      radio_experiment_registrar_##anchor{id, title, &fn};             \
+  }

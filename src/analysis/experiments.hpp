@@ -1,6 +1,9 @@
-// The experiment drivers E1…E9 (see DESIGN.md §3). Each regenerates one
+// The experiment drivers E1…E15 (see DESIGN.md §3). Each regenerates one
 // "table" of the reproduction: a Monte-Carlo sweep plus the model fits or
-// shape checks that stand in for the paper's asymptotic statements.
+// shape checks that stand in for the paper's asymptotic statements. Every
+// driver also registers itself in the ExperimentRegistry
+// (experiment_registry.hpp), which is how `radio_bench` and the bench
+// wrappers resolve them by id.
 #pragma once
 
 #include "analysis/experiment_config.hpp"
@@ -38,7 +41,7 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config);
 /// E8 — §3.1 dense regime p = 1 − f(n): rounds vs ln n / ln(1/f).
 ExperimentResult run_e8_dense_regime(const ExperimentConfig& config);
 
-/// E9 — ablations of Theorem 5's design choices (DESIGN.md §5).
+/// E9 — ablations of Theorem 5's design choices (DESIGN.md §7).
 ExperimentResult run_e9_phase_ablation(const ExperimentConfig& config);
 
 /// E10 — Gilbert vs Erdős–Rényi model equivalence (§1.1's "results also

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -109,11 +110,16 @@ ExperimentResult run_e10_model_equivalence(const ExperimentConfig& config) {
         .cell(static_cast<std::uint64_t>(trials.size()));
   }
 
-  result.notes.push_back(
+  result.note(
       "paper claim (section 1.1): the bounds hold in both random graph "
       "models; Gnm/Gnp ratios near 1 confirm the algorithms cannot tell the "
       "models apart.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e10, "E10",
+    "Gilbert G(n,p) vs Erdos-Renyi G(n,m): same broadcast times",
+    run_e10_model_equivalence)
 
 }  // namespace radio

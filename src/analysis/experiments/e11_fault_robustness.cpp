@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -120,12 +121,17 @@ ExperimentResult run_e11_fault_robustness(const ExperimentConfig& config) {
          [](const Trial& t) { return t.dist_done; });
   }
 
-  result.notes.push_back(
+  result.note(
       "expected shape: without faults both complete; under crashes the "
       "pre-planned schedule strands survivors (its transmitter sets lost "
       "members) while the adaptive protocol still completes; pure loss only "
       "stretches round counts.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(e11, "E11",
+                          "Fault robustness: precomputed Thm-5 schedule vs "
+                          "adaptive Thm-7 protocol under crashes and loss",
+                          run_e11_fault_robustness)
 
 }  // namespace radio

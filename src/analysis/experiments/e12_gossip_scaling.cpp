@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -100,17 +101,26 @@ ExperimentResult run_e12_gossip_scaling(const ExperimentConfig& config) {
   }
 
   const LinearFit fit = fit_line(fit_x, fit_y);
-  result.notes.push_back(
+  result.note_fit(
       "gossip-uniform: rounds ~= " + format_double(fit.coefficients[0], 2) +
-      "*ln n + " + format_double(fit.coefficients[1], 2) + " (R^2 = " +
-      format_double(fit.r_squared, 3) +
-      "); with d = ln^2 n this matches the Theta(d*ln n) escape bound — "
-      "gossip pays a factor-d premium over broadcast because every rumor "
-      "must first leave its 1/d-rate source.");
-  result.notes.push_back(
+          "*ln n + " + format_double(fit.coefficients[1], 2) + " (R^2 = " +
+          format_double(fit.r_squared, 3) +
+          "); with d = ln^2 n this matches the Theta(d*ln n) escape bound — "
+          "gossip pays a factor-d premium over broadcast because every rumor "
+          "must first leave its 1/d-rate source.",
+      ModelFitNote{"gossip-uniform",
+                   "a*ln n + b",
+                   {{"ln n", fit.coefficients[0]},
+                    {"intercept", fit.coefficients[1]}},
+                   fit.r_squared});
+  result.note(
       "round-robin is collision-free but pays Theta(n) per sweep; decay "
       "pays its log-factor phase overhead.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e12, "E12", "Radio gossiping on G(n,p): rounds to all-to-all completion",
+    run_e12_gossip_scaling)
 
 }  // namespace radio

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -99,18 +100,28 @@ ExperimentResult run_e13_adaptive_backoff(const ExperimentConfig& config) {
       fit_y.push_back(s.mean);
     }
     const LinearFit fit = fit_line(fit_x, fit_y);
-    result.notes.push_back(
+    result.note_fit(
         std::string(entry.label) + ": rounds ~= " +
-        format_double(fit.coefficients[0], 2) + "*ln n + " +
-        format_double(fit.coefficients[1], 2) + " (R^2 = " +
-        format_double(fit.r_squared, 3) + ")");
+            format_double(fit.coefficients[0], 2) + "*ln n + " +
+            format_double(fit.coefficients[1], 2) + " (R^2 = " +
+            format_double(fit.r_squared, 3) + ")",
+        ModelFitNote{entry.label,
+                     "a*ln n + b",
+                     {{"ln n", fit.coefficients[0]},
+                      {"intercept", fit.coefficients[1]}},
+                     fit.r_squared});
   }
 
-  result.notes.push_back(
+  result.note(
       "reading: adaptive backoff trades the p-knowledge of Theorem 7 for "
       "collision detection and stays O(ln n)-shaped with a constant-factor "
       "learning premium.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e13, "E13",
+    "Collision detection vs knowing p: adaptive backoff against Theorem 7",
+    run_e13_adaptive_backoff)
 
 }  // namespace radio

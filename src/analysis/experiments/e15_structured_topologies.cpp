@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -126,12 +127,17 @@ ExperimentResult run_e15_structured_topologies(const ExperimentConfig& config) {
     }
   }
 
-  result.notes.push_back(
+  result.note(
       "reading: on the ring and torus rounds track the diameter (collisions "
       "are easy to dodge at degree <= 4); on the hypercube and the random "
       "regular graph both terms are logarithmic — the random-graph bounds "
       "are the collision-dominated corner of a max(D, ln n) landscape.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e15, "E15",
+    "Structured topologies: radio broadcast where diameter dominates",
+    run_e15_structured_topologies)
 
 }  // namespace radio

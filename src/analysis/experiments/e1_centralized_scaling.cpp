@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -111,15 +112,26 @@ ExperimentResult run_e1_centralized_scaling(const ExperimentConfig& config) {
 
   const BroadcastModelFit fit =
       fit_centralized_model(fit_n, fit_d, fit_rounds);
-  result.notes.push_back(
+  result.note_fit(
       "fit: rounds ~= " + format_double(fit.diameter_coeff, 3) +
-      "*(ln n/ln d) + " + format_double(fit.selective_coeff, 3) + "*ln d + " +
-      format_double(fit.intercept, 2) + "   (R^2 = " +
-      format_double(fit.r_squared, 4) + ")");
-  result.notes.push_back(
+          "*(ln n/ln d) + " + format_double(fit.selective_coeff, 3) +
+          "*ln d + " + format_double(fit.intercept, 2) + "   (R^2 = " +
+          format_double(fit.r_squared, 4) + ")",
+      ModelFitNote{"",
+                   "a*(ln n/ln d) + b*ln d + c",
+                   {{"ln n/ln d", fit.diameter_coeff},
+                    {"ln d", fit.selective_coeff},
+                    {"intercept", fit.intercept}},
+                   fit.r_squared});
+  result.note(
       "paper shape check: both fitted coefficients positive and R^2 near 1 "
       "means rounds track Theta(ln n/ln d + ln d).");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e1, "E1",
+    "Theorem 5: centralized broadcast rounds vs n  (target ln n/ln d + ln d)",
+    run_e1_centralized_scaling)
 
 }  // namespace radio

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -82,16 +83,21 @@ ExperimentResult run_e2_centralized_density(const ExperimentConfig& config) {
     worst_ratio = std::max(worst_ratio, s.mean / target);
   }
 
-  result.notes.push_back(
+  result.note(
       "sparse end is dominated by phase1 (ln n/ln d pipeline), dense end by "
       "phase2 (ln d selective rounds); the minimum sits near ln d = "
       "sqrt(ln n) = " +
       format_double(std::sqrt(ln_n), 2) + " i.e. d ~= " +
       format_double(std::exp(std::sqrt(ln_n)), 1) + ".");
-  result.notes.push_back("worst mean/target ratio over the sweep: " +
-                         format_double(worst_ratio, 3) +
-                         " (bounded constant = the Theta() holds).");
+  result.note("worst mean/target ratio over the sweep: " +
+              format_double(worst_ratio, 3) +
+              " (bounded constant = the Theta() holds).");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e2, "E2",
+    "Theorem 5: rounds vs density at fixed n (diameter vs selective term)",
+    run_e2_centralized_density)
 
 }  // namespace radio

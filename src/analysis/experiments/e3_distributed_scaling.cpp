@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -88,16 +89,25 @@ ExperimentResult run_e3_distributed_scaling(const ExperimentConfig& config) {
       fit_y.push_back(s.mean);
     }
     const LinearFit fit = fit_line(fit_x, fit_y);
-    result.notes.push_back(
+    result.note_fit(
         std::string(variant.label) + ": rounds ~= " +
-        format_double(fit.coefficients[0], 3) + "*ln n + " +
-        format_double(fit.coefficients[1], 2) + "  (R^2 = " +
-        format_double(fit.r_squared, 4) + ")");
+            format_double(fit.coefficients[0], 3) + "*ln n + " +
+            format_double(fit.coefficients[1], 2) + "  (R^2 = " +
+            format_double(fit.r_squared, 4) + ")",
+        ModelFitNote{variant.label,
+                     "a*ln n + b",
+                     {{"ln n", fit.coefficients[0]},
+                      {"intercept", fit.coefficients[1]}},
+                     fit.r_squared});
   }
-  result.notes.push_back(
+  result.note(
       "paper shape check: positive slope with high R^2 against ln n "
       "reproduces the O(ln n) w.h.p. bound of Theorem 7.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e3, "E3", "Theorem 7: distributed broadcast rounds vs n (target ln n)",
+    run_e3_distributed_scaling)
 
 }  // namespace radio

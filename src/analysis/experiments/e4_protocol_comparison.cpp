@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -216,11 +217,15 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
              "single-port", trials, budget);
   }
 
-  result.notes.push_back(
+  result.note(
       "expected ordering: Thm5 <= Thm7 ~ rumor push < decay < "
       "selective-family << round-robin; flooding must NOT complete "
       "(collision stall) - that failure motivates the whole problem.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(e4, "E4",
+                          "Protocol comparison on G(n,p), d = ln^2 n",
+                          run_e4_protocol_comparison)
 
 }  // namespace radio

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -86,11 +87,14 @@ ExperimentResult run_e5_layer_structure(const ExperimentConfig& config) {
     }
   }
 
-  result.notes.push_back(
+  result.note(
       "lemma checks: size/d^i stays O(1) until saturation; multi_parent_frac "
       "on pre-saturation layers is within a constant of 1/d^2; intra-layer "
       "edges in small layers are O(1); sibling groups are O(d).");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(e5, "E5", "Lemma 3: BFS layer structure of G(n,p)",
+                          run_e5_layer_structure)
 
 }  // namespace radio

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -159,16 +160,20 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
         .cell("matching of size |cover| rate")
         .cell(mean(ok), 3)
         .cell("always (deterministic)");
-    result.notes.push_back("Prop 2 mean minimal-cover size: " +
-                           format_double(mean(sizes), 1) + " (|Y| = " +
-                           std::to_string(y2) + ").");
+    result.note("Prop 2 mean minimal-cover size: " +
+                format_double(mean(sizes), 1) + " (|Y| = " +
+                std::to_string(y2) + ").");
   }
 
-  result.notes.push_back(
+  result.note(
       "L4.1 covered fraction concentrates near lambda*e^-lambda with lambda "
       "= |X|/n; L4.2 success flips to 1 once |X|/|Y| clears the d^2 scale; "
       "Prop 2 must hold on every draw.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e6, "E6", "Lemma 4 / Proposition 2: independent coverings & matchings",
+    run_e6_covering_matching)
 
 }  // namespace radio

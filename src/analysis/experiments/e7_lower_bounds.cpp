@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -87,12 +88,17 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
       fit_y.push_back(best_mean);
     }
     const LinearFit fit = fit_line(fit_x, fit_y);
-    result.notes.push_back(
+    result.note_fit(
         "Thm8: best oblivious completion ~= " +
-        format_double(fit.coefficients[0], 3) + "*ln n + " +
-        format_double(fit.coefficients[1], 2) + " (R^2 = " +
-        format_double(fit.r_squared, 3) +
-        ") - linear in ln n across the search, matching Omega(ln n).");
+            format_double(fit.coefficients[0], 3) + "*ln n + " +
+            format_double(fit.coefficients[1], 2) + " (R^2 = " +
+            format_double(fit.r_squared, 3) +
+            ") - linear in ln n across the search, matching Omega(ln n).",
+        ModelFitNote{"Thm8 best oblivious completion",
+                     "a*ln n + b",
+                     {{"ln n", fit.coefficients[0]},
+                      {"intercept", fit.coefficients[1]}},
+                     fit.r_squared});
   }
 
   // ---- Theorem 6: size-<=2 set schedules at p = 1/2.
@@ -161,12 +167,16 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
           .cell(ln_n, 2)
           .cell(mean(loose_best) / ln_n, 3);
     }
-    result.notes.push_back(
+    result.note(
         "Thm6: within ln n rounds (far above the proof's c<1/8 regime) the "
         "completion fraction stays ~0; the best small-set schedule needs "
         "~log2 n ~ 1.44*ln n rounds, so Omega(ln n) = Omega(ln d) at p=1/2.");
   }
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(
+    e7, "E7", "Theorems 6 & 8: adversarial schedule search (lower bounds)",
+    run_e7_lower_bounds)
 
 }  // namespace radio

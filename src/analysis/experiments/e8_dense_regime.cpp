@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -69,11 +70,15 @@ ExperimentResult run_e8_dense_regime(const ExperimentConfig& config) {
         .cell(std::to_string(completed) + "/" + std::to_string(trials.size()));
   }
 
-  result.notes.push_back(
+  result.note(
       "shape check: as f shrinks (denser graph) the target ln n/ln(1/f) "
       "collapses toward 1-2 rounds and the measured rounds follow; at "
       "f = 1/2 the round count is ~log2 n, the hardest dense case.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(e8, "E8",
+                          "Dense regime p = 1 - f(n): rounds vs ln n / ln(1/f)",
+                          run_e8_dense_regime)
 
 }  // namespace radio

@@ -1,4 +1,4 @@
-// E9 — ablation of Theorem 5's design choices (DESIGN.md §5).
+// E9 — ablation of Theorem 5's design choices (DESIGN.md §7).
 //
 // Each row mutates one ingredient of the centralized builder and reports
 // rounds + phase breakdown on the same workload:
@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 #include "analysis/trial_runner.hpp"
 #include "analysis/workload.hpp"
@@ -114,11 +115,15 @@ ExperimentResult run_e9_phase_ablation(const ExperimentConfig& config) {
         .cell(std::to_string(completed) + "/" + std::to_string(trials.size()));
   }
 
-  result.notes.push_back(
+  result.note(
       "reading the table: ablations should complete (the builder degrades "
       "gracefully) but pay extra phase-3 sweeps or selective rounds; rate "
       "0.5/d and 2/d bracket the paper's 1/d optimum.");
   return result;
 }
+
+RADIO_REGISTER_EXPERIMENT(e9, "E9",
+                          "Theorem 5 ablations: what each design choice buys",
+                          run_e9_phase_ablation)
 
 }  // namespace radio

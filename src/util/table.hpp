@@ -30,6 +30,7 @@ class Table {
 
   std::size_t num_rows() const noexcept { return rows_.size(); }
   std::size_t num_cols() const noexcept { return header_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
   const std::string& at(std::size_t row, std::size_t col) const;
 
   /// Renders an aligned monospace table.

@@ -1,0 +1,144 @@
+// radio_bench CLI parsing and config layering: defaults < RADIO_* env vars
+// < CLI flags, with the CSV destination precedence --csv > --out >
+// RADIO_CSV_DIR documented in docs/experiments.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "analysis/bench_cli.hpp"
+
+namespace radio {
+namespace {
+
+void clear_radio_env() {
+  ::unsetenv("RADIO_TRIALS");
+  ::unsetenv("RADIO_SEED");
+  ::unsetenv("RADIO_FULL");
+  ::unsetenv("RADIO_CSV_DIR");
+}
+
+class BenchCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override { clear_radio_env(); }
+  void TearDown() override { clear_radio_env(); }
+};
+
+TEST_F(BenchCliTest, NoArgsMeansHelp) {
+  EXPECT_EQ(parse_bench_command({}).action, BenchCommand::Action::kHelp);
+  EXPECT_EQ(parse_bench_command({"--help"}).action,
+            BenchCommand::Action::kHelp);
+  EXPECT_EQ(parse_bench_command({"help"}).action, BenchCommand::Action::kHelp);
+}
+
+TEST_F(BenchCliTest, ParsesList) {
+  EXPECT_EQ(parse_bench_command({"list"}).action, BenchCommand::Action::kList);
+  EXPECT_THROW(parse_bench_command({"list", "extra"}), std::runtime_error);
+}
+
+TEST_F(BenchCliTest, ParsesRunWithIdsAndFlags) {
+  const BenchCommand command = parse_bench_command(
+      {"run", "E3", "e7", "--trials", "32", "--seed", "7", "--full", "--out",
+       "results/"});
+  EXPECT_EQ(command.action, BenchCommand::Action::kRun);
+  ASSERT_EQ(command.ids.size(), 2u);
+  EXPECT_EQ(command.ids[0], "E3");
+  EXPECT_EQ(command.ids[1], "E7");  // lowercase input is canonicalized
+  EXPECT_FALSE(command.all);
+  ASSERT_TRUE(command.trials.has_value());
+  EXPECT_EQ(*command.trials, 32);
+  ASSERT_TRUE(command.seed.has_value());
+  EXPECT_EQ(*command.seed, 7u);
+  ASSERT_TRUE(command.full.has_value());
+  EXPECT_TRUE(*command.full);
+  EXPECT_EQ(command.out_dir, "results/");
+}
+
+TEST_F(BenchCliTest, ParsesEqualsSyntaxAndAll) {
+  const BenchCommand command = parse_bench_command(
+      {"run", "--all", "--trials=4", "--seed=99", "--quick", "--csv=/tmp/x"});
+  EXPECT_TRUE(command.all);
+  EXPECT_TRUE(command.ids.empty());
+  EXPECT_EQ(*command.trials, 4);
+  EXPECT_EQ(*command.seed, 99u);
+  EXPECT_FALSE(*command.full);
+  EXPECT_EQ(command.csv_dir, "/tmp/x");
+}
+
+TEST_F(BenchCliTest, RejectsMalformedCommands) {
+  EXPECT_THROW(parse_bench_command({"frobnicate"}), std::runtime_error);
+  EXPECT_THROW(parse_bench_command({"run"}), std::runtime_error);
+  EXPECT_THROW(parse_bench_command({"run", "--trials", "3"}),
+               std::runtime_error);  // no ids, no --all
+  EXPECT_THROW(parse_bench_command({"run", "E1", "--all"}),
+               std::runtime_error);  // both forms
+  EXPECT_THROW(parse_bench_command({"run", "E1", "--trials"}),
+               std::runtime_error);  // missing value
+  EXPECT_THROW(parse_bench_command({"run", "E1", "--trials", "0"}),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_command({"run", "E1", "--seed", "banana"}),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_command({"run", "E1", "--wat"}),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_command({"run", "notanid"}), std::runtime_error);
+}
+
+TEST_F(BenchCliTest, ConfigDefaultsWithoutEnvOrFlags) {
+  const BenchCommand command = parse_bench_command({"run", "E1"});
+  const ExperimentConfig config = config_for_run(command, "E1");
+  EXPECT_EQ(config.trials, 16);
+  EXPECT_EQ(config.seed, 42u);
+  EXPECT_TRUE(config.quick);
+  EXPECT_TRUE(config.csv_path.empty());
+}
+
+TEST_F(BenchCliTest, EnvVarsApplyWhenNoFlags) {
+  ::setenv("RADIO_TRIALS", "5", 1);
+  ::setenv("RADIO_SEED", "123", 1);
+  ::setenv("RADIO_FULL", "1", 1);
+  ::setenv("RADIO_CSV_DIR", "/tmp/envcsv", 1);
+  const BenchCommand command = parse_bench_command({"run", "E10"});
+  const ExperimentConfig config = config_for_run(command, "E10");
+  EXPECT_EQ(config.trials, 5);
+  EXPECT_EQ(config.seed, 123u);
+  EXPECT_FALSE(config.quick);
+  EXPECT_EQ(config.csv_path, "/tmp/envcsv/e10.csv");
+}
+
+TEST_F(BenchCliTest, CliFlagsTakePrecedenceOverEnv) {
+  ::setenv("RADIO_TRIALS", "5", 1);
+  ::setenv("RADIO_SEED", "123", 1);
+  ::setenv("RADIO_FULL", "1", 1);
+  ::setenv("RADIO_CSV_DIR", "/tmp/envcsv", 1);
+  const BenchCommand command = parse_bench_command(
+      {"run", "E10", "--trials", "9", "--seed", "7", "--quick", "--out",
+       "/tmp/outdir"});
+  const ExperimentConfig config = config_for_run(command, "E10");
+  EXPECT_EQ(config.trials, 9);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_TRUE(config.quick);
+  // --out redirects the CSV away from RADIO_CSV_DIR, legacy file name kept.
+  EXPECT_EQ(config.csv_path, "/tmp/outdir/e10.csv");
+}
+
+TEST_F(BenchCliTest, CsvDirBeatsOutDirForCsvPlacement) {
+  const BenchCommand command = parse_bench_command(
+      {"run", "E2", "--csv", "/tmp/csvdir", "--out", "/tmp/outdir"});
+  const ExperimentConfig config = config_for_run(command, "E2");
+  EXPECT_EQ(config.csv_path, "/tmp/csvdir/e2.csv");
+}
+
+TEST_F(BenchCliTest, LowercaseIdHelper) {
+  EXPECT_EQ(lowercase_id("E10"), "e10");
+  EXPECT_EQ(lowercase_id("e3"), "e3");
+}
+
+TEST_F(BenchCliTest, UsageMentionsTheCommands) {
+  const std::string usage = bench_usage();
+  EXPECT_NE(usage.find("radio_bench list"), std::string::npos);
+  EXPECT_NE(usage.find("--trials"), std::string::npos);
+  EXPECT_NE(usage.find("RADIO_TRIALS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radio

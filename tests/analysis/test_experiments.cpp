@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 
+#include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
 
 namespace radio {
@@ -27,13 +28,24 @@ void expect_well_formed(const ExperimentResult& result, const char* id) {
   // The table renders without tripping contracts.
   EXPECT_FALSE(result.table.to_string().empty());
   EXPECT_FALSE(result.table.to_csv().empty());
+  // The registry entry advertises exactly what the driver produces, so
+  // `radio_bench list` never drifts from the run output.
+  const ExperimentEntry* entry = ExperimentRegistry::find(id);
+  ASSERT_NE(entry, nullptr) << id << " is not registered";
+  EXPECT_EQ(entry->id, result.id);
+  EXPECT_EQ(entry->title, result.title);
 }
 
 TEST(Experiments, E1RunsAndFits) {
   const ExperimentResult r = run_e1_centralized_scaling(tiny_config());
   expect_well_formed(r, "E1");
   EXPECT_EQ(r.table.num_rows(), 15u);  // 3 regimes x 5 sizes in quick mode
-  EXPECT_NE(r.notes[0].find("fit:"), std::string::npos);
+  EXPECT_NE(r.notes[0].text.find("fit:"), std::string::npos);
+  // The fit note carries its typed payload for manifests.
+  ASSERT_TRUE(r.notes[0].fit.has_value());
+  EXPECT_EQ(r.notes[0].fit->model, "a*(ln n/ln d) + b*ln d + c");
+  EXPECT_EQ(r.notes[0].fit->coefficients.size(), 3u);
+  EXPECT_EQ(r.fits().size(), 1u);
 }
 
 TEST(Experiments, E2RunsDensitySweep) {

@@ -16,7 +16,7 @@ ExperimentResult sample_result() {
   result.title = "sample";
   result.table = Table({"k", "v"});
   result.table.row().cell("a").cell(1);
-  result.notes.push_back("note one");
+  result.note("note one");
   return result;
 }
 

@@ -1,0 +1,56 @@
+// ExperimentRegistry: every driver E1…E15 self-registers exactly once, ids
+// are unique and ordered, and lookup is case-insensitive. This is the
+// completeness gate for `radio_bench run --all` — a driver that falls out
+// of the registry (or out of the link) fails here, not silently in CI.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/experiment_registry.hpp"
+
+namespace radio {
+namespace {
+
+TEST(ExperimentRegistry, AllFifteenExperimentsRegistered) {
+  const auto& entries = ExperimentRegistry::all();
+  ASSERT_EQ(entries.size(), 15u);
+  for (int i = 0; i < 15; ++i) {
+    std::string expected = "E";
+    expected += std::to_string(i + 1);
+    EXPECT_EQ(entries[static_cast<std::size_t>(i)].id, expected);
+  }
+}
+
+TEST(ExperimentRegistry, IdsAreUnique) {
+  std::set<std::string> ids;
+  for (const ExperimentEntry& entry : ExperimentRegistry::all())
+    EXPECT_TRUE(ids.insert(entry.id).second)
+        << "duplicate id " << entry.id;
+  EXPECT_EQ(ids.size(), 15u);
+}
+
+TEST(ExperimentRegistry, EntriesAreComplete) {
+  for (const ExperimentEntry& entry : ExperimentRegistry::all()) {
+    EXPECT_FALSE(entry.title.empty()) << entry.id;
+    EXPECT_NE(entry.fn, nullptr) << entry.id;
+  }
+}
+
+TEST(ExperimentRegistry, FindIsCaseInsensitive) {
+  const ExperimentEntry* upper = ExperimentRegistry::find("E10");
+  const ExperimentEntry* lower = ExperimentRegistry::find("e10");
+  ASSERT_NE(upper, nullptr);
+  EXPECT_EQ(upper, lower);
+  EXPECT_EQ(upper->id, "E10");
+}
+
+TEST(ExperimentRegistry, FindRejectsUnknownIds) {
+  EXPECT_EQ(ExperimentRegistry::find("E16"), nullptr);
+  EXPECT_EQ(ExperimentRegistry::find("E0"), nullptr);
+  EXPECT_EQ(ExperimentRegistry::find(""), nullptr);
+  EXPECT_EQ(ExperimentRegistry::find("bogus"), nullptr);
+}
+
+}  // namespace
+}  // namespace radio

@@ -1,0 +1,142 @@
+// Json value type: writer output, strict parser, and round-trips. The bench
+// manifests and metrics streams depend on exact integer round-trips (64-bit
+// seeds) and insertion-ordered objects (stable diffs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace radio {
+namespace {
+
+TEST(Json, DumpsPrimitives) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, DumpsUint64Exactly) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(Json(big).dump(), "18446744073709551615");
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint64(), big);
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+  // Non-ASCII UTF-8 passes through unescaped.
+  EXPECT_EQ(Json("Erdős").dump(), "\"Erdős\"");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndOverwrite) {
+  Json obj = Json::object();
+  obj.set("z", 1);
+  obj.set("a", 2);
+  obj.set("z", 3);  // overwrite keeps position
+  EXPECT_EQ(obj.dump(), "{\"z\":3,\"a\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.at("z").as_int64(), 3);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+  EXPECT_THROW(obj.at("missing"), std::runtime_error);
+}
+
+TEST(Json, ArraysNest) {
+  Json arr = Json::array();
+  arr.push_back(1);
+  Json inner = Json::object();
+  inner.set("k", "v");
+  arr.push_back(std::move(inner));
+  EXPECT_EQ(arr.dump(), "[1,{\"k\":\"v\"}]");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(1).at("k").as_string(), "v");
+}
+
+TEST(Json, PrettyPrint) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  Json arr = Json::array();
+  arr.push_back(2);
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(obj.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+TEST(Json, ParsesDocument) {
+  const Json doc = Json::parse(
+      R"({"id": "E1", "ok": true, "n": [1, -2, 3.5], "nested": {"x": null}})");
+  EXPECT_EQ(doc.at("id").as_string(), "E1");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_EQ(doc.at("n").at(0).as_int64(), 1);
+  EXPECT_EQ(doc.at("n").at(1).as_int64(), -2);
+  EXPECT_DOUBLE_EQ(doc.at("n").at(2).as_double(), 3.5);
+  EXPECT_TRUE(doc.at("nested").at("x").is_null());
+}
+
+TEST(Json, ParsesEscapesAndUnicode) {
+  EXPECT_EQ(Json::parse(R"("a\nb\t\"c\"")").as_string(), "a\nb\t\"c\"");
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").as_string(), "\xc3\xa9");        // é
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1 2"), std::runtime_error);  // trailing garbage
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"bad \\q escape\""), std::runtime_error);
+  EXPECT_THROW(Json::parse("-"), std::runtime_error);
+}
+
+TEST(Json, RoundTripsThroughDumpAndParse) {
+  Json obj = Json::object();
+  obj.set("seed", std::uint64_t{12345678901234567890ull});
+  obj.set("r2", 0.9471);
+  obj.set("note", "fit: rounds ~= a*ln n + b\nline2");
+  Json rows = Json::array();
+  rows.push_back(-1);
+  rows.push_back(true);
+  obj.set("rows", std::move(rows));
+
+  for (const int indent : {-1, 2}) {
+    const Json reparsed = Json::parse(obj.dump(indent));
+    EXPECT_EQ(reparsed.at("seed").as_uint64(), 12345678901234567890ull);
+    EXPECT_DOUBLE_EQ(reparsed.at("r2").as_double(), 0.9471);
+    EXPECT_EQ(reparsed.at("note").as_string(), "fit: rounds ~= a*ln n + b\nline2");
+    EXPECT_EQ(reparsed.at("rows").at(0).as_int64(), -1);
+    EXPECT_TRUE(reparsed.at("rows").at(1).as_bool());
+    // Dump of the reparse is byte-identical: numbers survive exactly.
+    EXPECT_EQ(reparsed.dump(indent), obj.dump(indent));
+  }
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  EXPECT_THROW(Json(1).as_string(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_double(), std::runtime_error);
+  EXPECT_THROW(Json(true).at(0u), std::runtime_error);
+  EXPECT_THROW(Json(std::int64_t{-1}).as_uint64(), std::runtime_error);
+  Json arr = Json::array();
+  arr.push_back(1);
+  EXPECT_THROW(arr.at(5u), std::runtime_error);
+  EXPECT_THROW(arr.set("k", 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace radio
