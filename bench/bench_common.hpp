@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <exception>
 
 #include "analysis/experiment_registry.hpp"
 
@@ -24,9 +25,16 @@ inline int run_bench_main(int argc, char** argv, const char* experiment_id) {
     std::fprintf(stderr, "experiment '%s' is not registered\n", experiment_id);
     return 1;
   }
-  const ExperimentConfig config =
-      ExperimentConfig::from_environment(experiment_id);
-  entry->fn(config).present(config);
+  try {
+    const ExperimentConfig config =
+        ExperimentConfig::from_environment(experiment_id);
+    entry->fn(config).present(config);
+  } catch (const std::exception& error) {
+    // Malformed RADIO_* values (strict parsing, util/parse.hpp) land here:
+    // one diagnostic line, non-zero exit, no partially-configured run.
+    std::fprintf(stderr, "%s: %s\n", experiment_id, error.what());
+    return 2;
+  }
   return 0;
 }
 

@@ -5,7 +5,13 @@
 # must emit 15 manifests that scripts/bench_report.py validates. This gates
 # registry completeness and manifest well-formedness, not performance.
 #
+# A second stage rebuilds with AddressSanitizer+UBSan (abort on first
+# finding) and re-runs the suite plus a 10k-iteration fuzz smoke over the
+# committed corpora, so memory bugs and UB in the input boundary fail CI
+# rather than silently corrupting experiment numbers.
+#
 # Usage: scripts/ci.sh [build-dir]   (default: build)
+#   RADIO_CI_SKIP_SANITIZERS=1 skips the sanitizer stage (fast local loop).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,3 +27,29 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$BUILD_DIR/bench/radio_bench" run --all --trials 2 --seed 7 --quick \
   --out "$SMOKE_DIR" > "$SMOKE_DIR/stdout.txt"
 python3 scripts/bench_report.py --check "$SMOKE_DIR"
+
+# Malformed-input smoke: every rejection path must exit non-zero with a
+# one-line diagnostic, never crash (see docs/experiments.md, "Error
+# handling & input validation").
+if "$BUILD_DIR/bench/radio_bench" run E1 --trials=abc 2>/dev/null; then
+  echo "ci: radio_bench accepted --trials=abc" >&2; exit 1
+fi
+if RADIO_TRIALS=junk "$BUILD_DIR/bench/radio_bench" run E1 2>/dev/null; then
+  echo "ci: radio_bench accepted RADIO_TRIALS=junk" >&2; exit 1
+fi
+
+if [[ "${RADIO_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  SAN_DIR="${BUILD_DIR}-asan"
+  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+  rm -rf "$SAN_DIR"
+  cmake -B "$SAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+  cmake --build "$SAN_DIR" -j
+  ctest --test-dir "$SAN_DIR" --output-on-failure \
+    -j "$(nproc 2>/dev/null || echo 4)"
+  # Fuzz harnesses under sanitizers: corpus replay + 10k mutated inputs each.
+  "$SAN_DIR/tests/fuzz/fuzz_schedule_text" tests/fuzz/corpus/schedule --iters 10000
+  "$SAN_DIR/tests/fuzz/fuzz_json" tests/fuzz/corpus/json --iters 10000
+fi

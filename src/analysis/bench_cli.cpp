@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
+#include <limits>
 #include <stdexcept>
+
+#include "util/parse.hpp"
 
 namespace radio {
 namespace {
@@ -71,17 +73,12 @@ BenchCommand parse_bench_command(const std::vector<std::string>& args) {
       command.all = true;
     } else if (matches_flag(arg, "--trials")) {
       const std::string value = flag_value("--trials", arg, args, i);
-      const int trials = std::atoi(value.c_str());
-      if (trials <= 0) usage_error("--trials must be a positive integer");
-      command.trials = trials;
+      command.trials = static_cast<int>(
+          parse_int(value, "--trials", 1, std::numeric_limits<int>::max())
+              .value_or_throw());
     } else if (matches_flag(arg, "--seed")) {
       const std::string value = flag_value("--seed", arg, args, i);
-      if (value.empty() ||
-          !std::all_of(value.begin(), value.end(), [](unsigned char c) {
-            return std::isdigit(c) != 0;
-          }))
-        usage_error("--seed must be a non-negative integer");
-      command.seed = std::strtoull(value.c_str(), nullptr, 10);
+      command.seed = parse_u64(value, "--seed").value_or_throw();
     } else if (arg == "--full") {
       command.full = true;
     } else if (arg == "--quick") {

@@ -249,7 +249,15 @@ int run_bench_cli(int argc, const char* const* argv) {
 
   double total_seconds = 0.0;
   for (const std::string& id : ids) {
-    const ExperimentConfig config = config_for_run(command, id);
+    ExperimentConfig config;
+    try {
+      config = config_for_run(command, id);
+    } catch (const std::exception& error) {
+      // Malformed RADIO_* environment values reject loudly (util/parse.hpp)
+      // rather than running every experiment with a silently clamped config.
+      std::fprintf(stderr, "radio_bench: %s\n", error.what());
+      return 2;
+    }
     std::fprintf(stderr, "[radio_bench] running %s (trials=%d seed=%llu %s)\n",
                  id.c_str(), config.trials,
                  static_cast<unsigned long long>(config.seed),

@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
+
+#include "util/parse.hpp"
 
 namespace radio {
 
@@ -11,11 +14,16 @@ ExperimentConfig ExperimentConfig::from_environment(
     const std::string& experiment_id) {
   ExperimentConfig config;
   if (const char* trials = std::getenv("RADIO_TRIALS"))
-    config.trials = std::max(1, std::atoi(trials));
+    config.trials = static_cast<int>(
+        parse_int(trials, "RADIO_TRIALS", 1, std::numeric_limits<int>::max())
+            .value_or_throw());
   if (const char* seed = std::getenv("RADIO_SEED"))
-    config.seed = std::strtoull(seed, nullptr, 10);
-  if (const char* full = std::getenv("RADIO_FULL"))
-    config.quick = std::string(full) == "0" || std::string(full).empty();
+    config.seed = parse_u64(seed, "RADIO_SEED").value_or_throw();
+  if (const char* full = std::getenv("RADIO_FULL")) {
+    // Legacy accepted RADIO_FULL= (empty) as "quick"; keep that spelling.
+    config.quick =
+        *full == '\0' || !parse_bool(full, "RADIO_FULL").value_or_throw();
+  }
   if (const char* dir = std::getenv("RADIO_CSV_DIR"))
     config.csv_path = std::string(dir) + "/" + experiment_id + ".csv";
   return config;

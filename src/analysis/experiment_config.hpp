@@ -21,6 +21,9 @@ struct ExperimentConfig {
   /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR from the
   /// environment so bench binaries can be scaled up without rebuilds.
   /// `radio_bench` layers its CLI flags on top of this (bench_cli.hpp).
+  /// Malformed values throw std::runtime_error naming the variable and the
+  /// offending text (util/parse.hpp) — callers print the diagnostic and exit
+  /// non-zero rather than running with silently clamped numbers.
   static ExperimentConfig from_environment(const std::string& experiment_id);
 };
 

@@ -26,6 +26,13 @@ BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng) {
   instance.giant_component = true;
   instance.graph = largest_component_subgraph(last).graph;
   RADIO_ENSURES(instance.graph.num_nodes() >= 1);
+  // The subgraph is smaller than the requested n: record the realized node
+  // count so manifests and ProtocolContext consumers see the graph that
+  // actually ran, not the one that was asked for. p is preserved, so
+  // expected_degree() now reflects the realized instance too. Degenerate
+  // 1-node components (p ~ 0) are valid: the broadcast is trivially complete
+  // and realized_mean_degree is 0.
+  instance.params.n = instance.graph.num_nodes();
   instance.realized_mean_degree = degree_stats(instance.graph).mean_degree;
   return instance;
 }

@@ -11,7 +11,7 @@ namespace radio {
 
 struct BroadcastInstance {
   Graph graph;
-  GnpParams params;
+  GnpParams params;  ///< realized parameters: n always equals graph.num_nodes()
   double realized_mean_degree = 0.0;
   bool resampled = false;        ///< needed more than one G(n,p) draw
   bool giant_component = false;  ///< fell back to the giant component

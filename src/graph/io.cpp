@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/parse.hpp"
+
 namespace radio {
 namespace {
 
@@ -22,15 +24,9 @@ std::vector<std::string> tokenize(const std::string& text) {
   return tokens;
 }
 
-std::optional<std::uint64_t> parse_uint(const std::string& token) {
-  if (token.empty()) return std::nullopt;
-  std::uint64_t value = 0;
-  for (char ch : token) {
-    if (ch < '0' || ch > '9') return std::nullopt;
-    value = value * 10 + static_cast<std::uint64_t>(ch - '0');
-    if (value > 0xFFFFFFFFULL * 0xFFFFFFFFULL) return std::nullopt;
-  }
-  return value;
+std::optional<Graph> reject(std::string* error, const std::string& what) {
+  if (error) *error = "graph: " + what;
+  return std::nullopt;
 }
 
 }  // namespace
@@ -43,20 +39,39 @@ std::string graph_to_text(const Graph& g) {
   return out.str();
 }
 
-std::optional<Graph> graph_from_text(const std::string& text) {
+std::optional<Graph> graph_from_text(const std::string& text,
+                                     std::string* error) {
   const std::vector<std::string> tokens = tokenize(text);
-  if (tokens.size() < 2) return std::nullopt;
-  const auto n = parse_uint(tokens[0]);
-  const auto m = parse_uint(tokens[1]);
-  if (!n || !m || *n > 0xFFFFFFFEULL) return std::nullopt;
-  if (tokens.size() != 2 + 2 * *m) return std::nullopt;
+  if (tokens.size() < 2)
+    return reject(error, "expected '<n> <m>' header, found " +
+                             std::to_string(tokens.size()) + " token(s)");
+  const auto n = parse_u64(tokens[0], "node count", 0, 0xFFFFFFFEULL);
+  if (!n) return reject(error, n.error());
+  // The token list is fully materialized, so bounding the edge count by it
+  // (before the exact-arity check, whose 2*m could otherwise overflow) means
+  // a corrupt header cannot OOM or index past the token vector.
+  const auto m = parse_u64(tokens[1], "edge count", 0,
+                           (tokens.size() - 2) / 2);
+  if (!m) return reject(error, m.error());
+  if (tokens.size() != 2 + 2 * *m)
+    return reject(error, "edge count " + tokens[1] + " needs " +
+                             std::to_string(2 * *m) + " endpoint tokens, found " +
+                             std::to_string(tokens.size() - 2));
 
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(*m));
   for (std::uint64_t i = 0; i < *m; ++i) {
-    const auto u = parse_uint(tokens[2 + 2 * i]);
-    const auto v = parse_uint(tokens[3 + 2 * i]);
-    if (!u || !v || *u >= *n || *v >= *n || *u == *v) return std::nullopt;
+    const std::string where = "edge " + std::to_string(i);
+    const auto u = parse_u64(tokens[2 + 2 * i], where + " endpoint u");
+    if (!u) return reject(error, u.error());
+    const auto v = parse_u64(tokens[3 + 2 * i], where + " endpoint v");
+    if (!v) return reject(error, v.error());
+    if (*u >= *n || *v >= *n)
+      return reject(error, where + ": endpoint (" + tokens[2 + 2 * i] + ", " +
+                               tokens[3 + 2 * i] + ") out of range for n=" +
+                               tokens[0]);
+    if (*u == *v)
+      return reject(error, where + ": self-loop at node " + tokens[2 + 2 * i]);
     edges.push_back(Edge{static_cast<NodeId>(*u), static_cast<NodeId>(*v)});
   }
   return Graph::from_edges(static_cast<NodeId>(*n), edges);
@@ -69,12 +84,17 @@ bool save_graph(const Graph& g, const std::string& path) {
   return static_cast<bool>(file);
 }
 
-std::optional<Graph> load_graph(const std::string& path) {
+std::optional<Graph> load_graph(const std::string& path, std::string* error) {
   std::ifstream file(path);
-  if (!file) return std::nullopt;
+  if (!file) {
+    if (error) *error = path + ": cannot open for reading";
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return graph_from_text(buffer.str());
+  auto parsed = graph_from_text(buffer.str(), error);
+  if (!parsed && error && !error->empty()) *error = path + ": " + *error;
+  return parsed;
 }
 
 }  // namespace radio

@@ -22,11 +22,17 @@ std::string graph_to_text(const Graph& g);
 
 /// Parses edge-list text; nullopt on syntax errors, endpoint range errors,
 /// self-loops, or an edge-count mismatch. Duplicate edges are collapsed (the
-/// graph is simple by construction).
-std::optional<Graph> graph_from_text(const std::string& text);
+/// graph is simple by construction). When `error` is non-null it receives a
+/// one-line diagnostic naming the bad token (util/parse.hpp). Header counts
+/// are validated against the actual token stream before anything is
+/// allocated, so corrupt headers reject instead of OOMing.
+std::optional<Graph> graph_from_text(const std::string& text,
+                                     std::string* error = nullptr);
 
-/// File helpers; false / nullopt on I/O or parse failure.
+/// File helpers; false / nullopt on I/O or parse failure. load_graph's
+/// diagnostic is prefixed with the path.
 bool save_graph(const Graph& g, const std::string& path);
-std::optional<Graph> load_graph(const std::string& path);
+std::optional<Graph> load_graph(const std::string& path,
+                                std::string* error = nullptr);
 
 }  // namespace radio

@@ -1,9 +1,47 @@
 #include "sim/schedule_io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+
+#include "util/parse.hpp"
 
 namespace radio {
+namespace {
+
+/// Whitespace-token scanner that knows how much input is left — the header
+/// bounds checks below compare claimed counts against `remaining()` before
+/// any allocation happens.
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& text) : text_(text) {}
+
+  std::optional<std::string_view> next() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    if (pos_ >= text_.size()) return std::nullopt;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           !std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    return std::string_view(text_).substr(start, pos_ - start);
+  }
+
+  std::size_t remaining() const noexcept { return text_.size() - pos_; }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<Schedule> reject(std::string* error, const std::string& what) {
+  if (error) *error = "schedule: " + what;
+  return std::nullopt;
+}
+
+}  // namespace
 
 std::string schedule_to_text(const Schedule& schedule) {
   std::ostringstream out;
@@ -21,29 +59,91 @@ std::string schedule_to_text(const Schedule& schedule) {
   return out.str();
 }
 
-std::optional<Schedule> schedule_from_text(const std::string& text) {
-  std::istringstream in(text);
-  std::string word;
-  if (!(in >> word) || word != "radio-schedule") return std::nullopt;
-  if (!(in >> word) || word != "v1") return std::nullopt;
-  std::size_t rounds = 0;
-  if (!(in >> word) || word != "rounds" || !(in >> rounds)) return std::nullopt;
+std::optional<Schedule> schedule_from_text(const std::string& text,
+                                           std::string* error,
+                                           NodeId max_nodes) {
+  TokenReader in(text);
+  auto word = in.next();
+  if (!word || *word != "radio-schedule")
+    return reject(error, "expected magic 'radio-schedule', got '" +
+                             std::string(word.value_or("<end of input>")) +
+                             "'");
+  word = in.next();
+  if (!word || *word != "v1")
+    return reject(error, "unsupported version '" +
+                             std::string(word.value_or("<end of input>")) +
+                             "' (expected v1)");
+  word = in.next();
+  if (!word || *word != "rounds")
+    return reject(error, "expected 'rounds <R>' header");
+  word = in.next();
+  if (!word) return reject(error, "truncated after 'rounds' keyword");
+  const auto rounds = parse_u64(*word, "rounds header");
+  if (!rounds) return reject(error, rounds.error());
+  // Each round line is at least "round <i> - 0" — 11 bytes. Comparing the
+  // claimed count against the bytes actually left makes a corrupt header a
+  // diagnostic instead of a multi-gigabyte resize.
+  if (*rounds > in.remaining())
+    return reject(error, "rounds header claims " + std::string(*word) +
+                             " rounds but only " +
+                             std::to_string(in.remaining()) +
+                             " bytes of input remain");
 
   Schedule schedule;
-  schedule.rounds.resize(rounds);
-  schedule.phase_of.resize(rounds);
-  for (std::size_t i = 0; i < rounds; ++i) {
-    std::size_t index = 0, count = 0;
-    std::string phase;
-    if (!(in >> word) || word != "round") return std::nullopt;
-    if (!(in >> index) || index != i) return std::nullopt;
-    if (!(in >> phase)) return std::nullopt;
-    if (!(in >> count)) return std::nullopt;
-    schedule.phase_of[i] = phase == "-" ? std::string{} : phase;
-    schedule.rounds[i].resize(count);
-    for (std::size_t k = 0; k < count; ++k)
-      if (!(in >> schedule.rounds[i][k])) return std::nullopt;
+  schedule.rounds.resize(static_cast<std::size_t>(*rounds));
+  schedule.phase_of.resize(static_cast<std::size_t>(*rounds));
+  for (std::size_t i = 0; i < *rounds; ++i) {
+    const std::string where = "round " + std::to_string(i);
+    word = in.next();
+    if (!word || *word != "round")
+      return reject(error, where + ": expected 'round' keyword, got '" +
+                               std::string(word.value_or("<end of input>")) +
+                               "'");
+    word = in.next();
+    if (!word) return reject(error, where + ": truncated before index");
+    const auto index = parse_u64(*word, where + " index");
+    if (!index) return reject(error, index.error());
+    if (*index != i)
+      return reject(error, where + ": index " + std::string(*word) +
+                               " out of order (expected " + std::to_string(i) +
+                               ")");
+    word = in.next();
+    if (!word) return reject(error, where + ": truncated before phase label");
+    schedule.phase_of[i] = *word == "-" ? std::string{} : std::string(*word);
+    word = in.next();
+    if (!word)
+      return reject(error, where + ": truncated before transmitter count");
+    const auto count = parse_u64(*word, where + " transmitter count");
+    if (!count) return reject(error, count.error());
+    // k transmitter ids need at least k digits plus k-1 separators.
+    if (*count > 0 && 2 * *count - 1 > in.remaining())
+      return reject(error, where + ": transmitter count " +
+                               std::string(*word) + " exceeds the " +
+                               std::to_string(in.remaining()) +
+                               " bytes of input remaining");
+    schedule.rounds[i].resize(static_cast<std::size_t>(*count));
+    for (std::size_t k = 0; k < *count; ++k) {
+      word = in.next();
+      if (!word)
+        return reject(error, where + ": truncated at transmitter " +
+                                 std::to_string(k) + " of " +
+                                 std::to_string(*count));
+      const auto id =
+          parse_u64(*word, where + " transmitter " + std::to_string(k));
+      if (!id) return reject(error, id.error());
+      if (max_nodes > 0 && *id >= max_nodes)
+        return reject(error, where + ": transmitter id " + std::string(*word) +
+                                 " out of range for n=" +
+                                 std::to_string(max_nodes));
+      if (*id > 0xFFFFFFFEULL)
+        return reject(error, where + ": transmitter id " + std::string(*word) +
+                                 " exceeds the node-id range");
+      schedule.rounds[i][k] = static_cast<NodeId>(*id);
+    }
   }
+  if (const auto trailing = in.next())
+    return reject(error, "trailing garbage after last round: '" +
+                             std::string(*trailing) + "'");
   return schedule;
 }
 
@@ -54,12 +154,18 @@ bool save_schedule(const Schedule& schedule, const std::string& path) {
   return static_cast<bool>(file);
 }
 
-std::optional<Schedule> load_schedule(const std::string& path) {
+std::optional<Schedule> load_schedule(const std::string& path,
+                                      std::string* error, NodeId max_nodes) {
   std::ifstream file(path);
-  if (!file) return std::nullopt;
+  if (!file) {
+    if (error) *error = path + ": cannot open for reading";
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << file.rdbuf();
-  return schedule_from_text(buffer.str());
+  auto parsed = schedule_from_text(buffer.str(), error, max_nodes);
+  if (!parsed && error && !error->empty()) *error = path + ": " + *error;
+  return parsed;
 }
 
 }  // namespace radio

@@ -7,6 +7,12 @@
 //   round <index> <phase-label> <k> <id_1> ... <id_k>
 //
 // Phase labels must not contain whitespace (builder labels never do).
+//
+// Parsing is strict and allocation-safe: the `rounds` and per-round `<k>`
+// headers are validated against the remaining input *before* any vector is
+// sized, so a corrupt header claiming 4 billion rounds is a one-line
+// diagnostic, not a multi-gigabyte allocation. Round indices must be exactly
+// 0,1,2,…; with a node count supplied, every transmitter id must be < n.
 #pragma once
 
 #include <iosfwd>
@@ -20,12 +26,20 @@ namespace radio {
 /// Serializes to the v1 text format.
 std::string schedule_to_text(const Schedule& schedule);
 
-/// Parses the v1 text format; nullopt on any syntax error (wrong magic,
-/// truncated round, count mismatch).
-std::optional<Schedule> schedule_from_text(const std::string& text);
+/// Parses the v1 text format; nullopt on any error (wrong magic, truncated
+/// round, count mismatch, header larger than the input could hold). When
+/// `error` is non-null it receives a one-line diagnostic naming what was
+/// expected and the offending token. `max_nodes` > 0 additionally rejects
+/// any transmitter id >= max_nodes (the schedule's target graph size).
+std::optional<Schedule> schedule_from_text(const std::string& text,
+                                           std::string* error = nullptr,
+                                           NodeId max_nodes = 0);
 
-/// File helpers; false on I/O or parse failure.
+/// File helpers; false / nullopt on I/O or parse failure. load_schedule's
+/// diagnostic is prefixed with the path.
 bool save_schedule(const Schedule& schedule, const std::string& path);
-std::optional<Schedule> load_schedule(const std::string& path);
+std::optional<Schedule> load_schedule(const std::string& path,
+                                      std::string* error = nullptr,
+                                      NodeId max_nodes = 0);
 
 }  // namespace radio

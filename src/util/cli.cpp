@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace radio {
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
@@ -37,7 +39,7 @@ std::int64_t CliArgs::get_int(const std::string& name,
   consumed_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  return parse_int(it->second, "--" + name).value_or_throw();
 }
 
 std::uint64_t CliArgs::get_uint(const std::string& name,
@@ -45,21 +47,21 @@ std::uint64_t CliArgs::get_uint(const std::string& name,
   consumed_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoull(it->second);
+  return parse_u64(it->second, "--" + name).value_or_throw();
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   consumed_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  return parse_double(it->second, "--" + name).value_or_throw();
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   consumed_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  return parse_bool(it->second, "--" + name).value_or_throw();
 }
 
 void CliArgs::validate() const {

@@ -13,6 +13,9 @@ class CliArgs {
  public:
   /// Parses argv of the form --name=value or --name value. Throws
   /// std::runtime_error on malformed input or (in validate()) unknown flags.
+  /// Typed getters parse strictly (util/parse.hpp): a malformed value throws
+  /// std::runtime_error whose message names the flag and the offending text,
+  /// so example mains print one diagnostic line and exit non-zero.
   CliArgs(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;

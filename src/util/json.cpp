@@ -52,6 +52,10 @@ void append_double(std::string& out, double value) {
 
 class Parser {
  public:
+  // A hostile document is all "[" — unbounded recursion segfaults long
+  // before malloc minds. 128 levels is ~10x deeper than any manifest.
+  static constexpr int kMaxDepth = 128;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   Json run() {
@@ -112,35 +116,38 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 128 levels");
     Json obj = Json::object();
     skip_ws();
-    if (peek() == '}') { ++pos_; return obj; }
+    if (peek() == '}') { ++pos_; --depth_; return obj; }
     while (true) {
       skip_ws();
       if (peek() != '"') fail("expected string key");
       std::string key = parse_string();
+      if (obj.contains(key)) fail("duplicate key '" + key + "'");
       skip_ws();
       expect(':');
       obj.set(std::move(key), parse_value());
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == '}') return obj;
+      if (c == '}') { --depth_; return obj; }
       if (c != ',') fail("expected ',' or '}' in object");
     }
   }
 
   Json parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting deeper than 128 levels");
     Json arr = Json::array();
     skip_ws();
-    if (peek() == ']') { ++pos_; return arr; }
+    if (peek() == ']') { ++pos_; --depth_; return arr; }
     while (true) {
       arr.push_back(parse_value());
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == ']') return arr;
+      if (c == ']') { --depth_; return arr; }
       if (c != ',') fail("expected ',' or ']' in array");
     }
   }
@@ -267,6 +274,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

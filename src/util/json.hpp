@@ -76,7 +76,10 @@ class Json {
   std::string dump(int indent = -1) const;
 
   /// Strict parse of a complete document; throws std::runtime_error with a
-  /// byte offset on malformed input or trailing garbage.
+  /// byte offset on malformed input or trailing garbage. Hostile documents
+  /// are bounded: nesting beyond 128 levels, duplicate object keys, and
+  /// non-finite / overflowing number literals are all parse errors rather
+  /// than stack overflows or silently lossy values.
   static Json parse(std::string_view text);
 
  private:

@@ -1,0 +1,126 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace radio {
+namespace {
+
+std::string quote(std::string_view text) {
+  // Bad tokens go back to the user verbatim, but bounded (a corrupt file can
+  // hand us megabytes) and with control bytes made visible.
+  constexpr std::size_t kMaxShown = 64;
+  std::string out;
+  out += '\'';
+  const std::size_t shown = std::min(text.size(), kMaxShown);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c >= 0x20 && c != 0x7F) {
+      out += static_cast<char>(c);
+    } else {
+      constexpr char kHex[] = "0123456789abcdef";
+      out += "\\x";
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    }
+  }
+  if (text.size() > kMaxShown) out += "...";
+  out += '\'';
+  return out;
+}
+
+std::string diagnose(std::string_view source, const std::string& what,
+                     std::string_view text) {
+  return std::string(source) + ": " + what + ", got " + quote(text);
+}
+
+template <typename T>
+std::string range_text(T min_value, T max_value) {
+  return "a value in [" + std::to_string(min_value) + ", " +
+         std::to_string(max_value) + "]";
+}
+
+}  // namespace
+
+template <typename T>
+const T& Parsed<T>::value_or_throw() const {
+  if (!value_) throw std::runtime_error(error_);
+  return *value_;
+}
+
+template class Parsed<std::uint64_t>;
+template class Parsed<std::int64_t>;
+template class Parsed<double>;
+template class Parsed<bool>;
+
+Parsed<std::uint64_t> parse_u64(std::string_view text, std::string_view source,
+                                std::uint64_t min_value,
+                                std::uint64_t max_value) {
+  using R = Parsed<std::uint64_t>;
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto res = std::from_chars(first, last, value);
+  if (res.ec == std::errc::result_out_of_range)
+    return R::fail(diagnose(source, "expected " +
+                            range_text(min_value, max_value) +
+                            " but the value overflows", text));
+  if (res.ec != std::errc{} || res.ptr != last || text.empty() ||
+      text[0] == '-')
+    return R::fail(diagnose(source, "expected an unsigned integer", text));
+  if (value < min_value || value > max_value)
+    return R::fail(diagnose(source, "expected " +
+                            range_text(min_value, max_value), text));
+  return R::ok(value);
+}
+
+Parsed<std::int64_t> parse_int(std::string_view text, std::string_view source,
+                               std::int64_t min_value,
+                               std::int64_t max_value) {
+  using R = Parsed<std::int64_t>;
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto res = std::from_chars(first, last, value);
+  if (res.ec == std::errc::result_out_of_range)
+    return R::fail(diagnose(source, "expected " +
+                            range_text(min_value, max_value) +
+                            " but the value overflows", text));
+  if (res.ec != std::errc{} || res.ptr != last)
+    return R::fail(diagnose(source, "expected an integer", text));
+  if (value < min_value || value > max_value)
+    return R::fail(diagnose(source, "expected " +
+                            range_text(min_value, max_value), text));
+  return R::ok(value);
+}
+
+Parsed<double> parse_double(std::string_view text, std::string_view source,
+                            double min_value, double max_value) {
+  using R = Parsed<double>;
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto res = std::from_chars(first, last, value);
+  if (res.ec == std::errc::result_out_of_range || !std::isfinite(value))
+    return R::fail(diagnose(source, "expected a finite number", text));
+  if (res.ec != std::errc{} || res.ptr != last)
+    return R::fail(diagnose(source, "expected a number", text));
+  if (value < min_value || value > max_value)
+    return R::fail(diagnose(source, "expected a value in [" +
+                            std::to_string(min_value) + ", " +
+                            std::to_string(max_value) + "]", text));
+  return R::ok(value);
+}
+
+Parsed<bool> parse_bool(std::string_view text, std::string_view source) {
+  using R = Parsed<bool>;
+  if (text == "true" || text == "1" || text == "yes" || text == "on")
+    return R::ok(true);
+  if (text == "false" || text == "0" || text == "no" || text == "off")
+    return R::ok(false);
+  return R::fail(diagnose(
+      source, "expected a boolean (true/1/yes/on or false/0/no/off)", text));
+}
+
+}  // namespace radio

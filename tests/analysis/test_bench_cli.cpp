@@ -65,6 +65,72 @@ TEST_F(BenchCliTest, ParsesEqualsSyntaxAndAll) {
   EXPECT_EQ(command.csv_dir, "/tmp/x");
 }
 
+TEST_F(BenchCliTest, RejectsMalformedNumericFlagsWithDiagnostics) {
+  // --trials=abc used to become atoi garbage; now every numeric flag parses
+  // strictly and the diagnostic names the flag and the offending value.
+  for (const char* bad : {"abc", "-3", "0", "1.5", "16x", ""}) {
+    try {
+      parse_bench_command({"run", "E1", std::string("--trials=") + bad});
+      FAIL() << "--trials=" << bad << " should be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("--trials"), std::string::npos);
+    }
+  }
+  try {
+    parse_bench_command({"run", "E1", "--seed", "banana"});
+    FAIL() << "--seed banana should be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'banana'"), std::string::npos);
+  }
+  // Overflow is an error, not a wrap.
+  EXPECT_THROW(parse_bench_command({"run", "E1", "--trials", "3000000000"}),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_bench_command({"run", "E1", "--seed", "18446744073709551616"}),
+      std::runtime_error);
+}
+
+TEST_F(BenchCliTest, RejectsMalformedEnvironmentValues) {
+  // Garbage RADIO_* values reject with a diagnostic instead of silently
+  // clamping (RADIO_TRIALS=abc used to run with trials=1).
+  const BenchCommand command = parse_bench_command({"run", "E1"});
+  ::setenv("RADIO_TRIALS", "abc", 1);
+  try {
+    config_for_run(command, "E1");
+    FAIL() << "RADIO_TRIALS=abc should be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("RADIO_TRIALS"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+  }
+  ::setenv("RADIO_TRIALS", "0", 1);
+  EXPECT_THROW(config_for_run(command, "E1"), std::runtime_error);
+  ::setenv("RADIO_TRIALS", "-4", 1);
+  EXPECT_THROW(config_for_run(command, "E1"), std::runtime_error);
+  ::unsetenv("RADIO_TRIALS");
+
+  ::setenv("RADIO_SEED", "12monkeys", 1);
+  EXPECT_THROW(config_for_run(command, "E1"), std::runtime_error);
+  ::unsetenv("RADIO_SEED");
+
+  ::setenv("RADIO_FULL", "banana", 1);
+  EXPECT_THROW(config_for_run(command, "E1"), std::runtime_error);
+  ::unsetenv("RADIO_FULL");
+}
+
+TEST_F(BenchCliTest, EnvBoolAndEmptySpellingsKeepLegacyMeaning) {
+  const BenchCommand command = parse_bench_command({"run", "E1"});
+  ::setenv("RADIO_FULL", "", 1);  // legacy: empty means quick
+  EXPECT_TRUE(config_for_run(command, "E1").quick);
+  ::setenv("RADIO_FULL", "0", 1);
+  EXPECT_TRUE(config_for_run(command, "E1").quick);
+  ::setenv("RADIO_FULL", "1", 1);
+  EXPECT_FALSE(config_for_run(command, "E1").quick);
+  ::setenv("RADIO_FULL", "true", 1);
+  EXPECT_FALSE(config_for_run(command, "E1").quick);
+  ::unsetenv("RADIO_FULL");
+}
+
 TEST_F(BenchCliTest, RejectsMalformedCommands) {
   EXPECT_THROW(parse_bench_command({"frobnicate"}), std::runtime_error);
   EXPECT_THROW(parse_bench_command({"run"}), std::runtime_error);

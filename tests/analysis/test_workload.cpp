@@ -32,6 +32,35 @@ TEST(Workload, FallsBackToGiantComponentBelowThreshold) {
   EXPECT_GT(instance.graph.num_nodes(), 2000u / 4);  // giant component exists at d=2
 }
 
+TEST(Workload, GiantComponentFallbackRecordsRealizedNodeCount) {
+  Rng rng(2);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams::with_degree(2000, 2.0), rng);
+  ASSERT_TRUE(instance.giant_component);
+  // The instance's params must describe the graph that actually ran, not
+  // the n that was asked for — manifests record params, and a subgraph
+  // labelled n=2000 would be a silent lie.
+  EXPECT_EQ(instance.params.n, instance.graph.num_nodes());
+  EXPECT_LT(instance.params.n, 2000u);
+  // p is preserved; expected_degree() now reflects the realized instance.
+  EXPECT_DOUBLE_EQ(instance.params.p, GnpParams::with_degree(2000, 2.0).p);
+  const ProtocolContext ctx = context_for(instance);
+  EXPECT_EQ(ctx.n, instance.params.n);
+}
+
+TEST(Workload, DegenerateTinyComponentStaysValid) {
+  // p = 0: every component is a single node; the fallback must produce a
+  // consistent 1-node instance, not a params/graph mismatch or a crash.
+  Rng rng(5);
+  const BroadcastInstance instance =
+      make_broadcast_instance(GnpParams{2, 0.0}, rng);
+  ASSERT_TRUE(instance.giant_component);
+  EXPECT_EQ(instance.graph.num_nodes(), 1u);
+  EXPECT_EQ(instance.params.n, 1u);
+  EXPECT_DOUBLE_EQ(instance.realized_mean_degree, 0.0);
+  EXPECT_EQ(pick_source(instance.graph, rng), 0u);
+}
+
 TEST(Workload, PickSourceInRange) {
   Rng rng(3);
   const BroadcastInstance instance =

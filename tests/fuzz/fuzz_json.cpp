@@ -1,0 +1,31 @@
+// Fuzz harness for the strict JSON parser (util/json.hpp).
+//
+// Invariants checked on every input:
+//   * Json::parse either returns a value or throws std::runtime_error with
+//     a byte offset — never crashes, never recurses past the depth limit;
+//   * accepted documents reach a fixed point: dump → parse → dump is
+//     byte-identical (manifest round-trips are exact).
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const radio::Json doc = radio::Json::parse(text);
+    const std::string out = doc.dump();
+    try {
+      if (radio::Json::parse(out).dump() != out)
+        std::abort();  // dump/parse must reach a fixed point
+    } catch (const std::runtime_error&) {
+      std::abort();  // our own output must always reparse
+    }
+  } catch (const std::runtime_error& e) {
+    if (e.what()[0] == '\0') std::abort();  // rejection without a diagnostic
+  }
+  return 0;
+}

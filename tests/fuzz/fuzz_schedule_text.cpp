@@ -1,0 +1,32 @@
+// Fuzz harness for the schedule text parser (sim/schedule_io.hpp).
+//
+// Invariants checked on every input:
+//   * the parser never crashes, overflows, or allocates unboundedly —
+//     sanitizers and the allocation bounds in schedule_from_text enforce
+//     this; a corrupt header must be a rejection, not an OOM;
+//   * every rejection carries a one-line diagnostic;
+//   * every accepted input round-trips: serialize → reparse reproduces the
+//     same rounds and phase labels.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "sim/schedule_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto parsed =
+      radio::schedule_from_text(text, &error, /*max_nodes=*/1u << 20);
+  if (!parsed) {
+    if (error.empty()) std::abort();  // rejection without a diagnostic
+    return 0;
+  }
+  const std::string out = radio::schedule_to_text(*parsed);
+  const auto again = radio::schedule_from_text(out);
+  if (!again || again->rounds != parsed->rounds ||
+      again->phase_of != parsed->phase_of)
+    std::abort();  // accepted inputs must round-trip exactly
+  return 0;
+}

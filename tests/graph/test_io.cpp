@@ -1,6 +1,9 @@
 // Graph edge-list (de)serialization.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 #include "graph/io.hpp"
 #include "graph/random_graph.hpp"
 
@@ -65,6 +68,50 @@ TEST(GraphIo, DuplicateEdgesCollapse) {
   const auto parsed = graph_from_text("3 3\n0 1\n1 0\n0 1\n");
   ASSERT_TRUE(parsed.has_value());
   EXPECT_EQ(parsed->num_edges(), 1u);
+}
+
+TEST(GraphIo, DiagnosticsNameTheOffendingToken) {
+  std::string error;
+  EXPECT_FALSE(graph_from_text("3 oops\n0 1\n", &error).has_value());
+  EXPECT_NE(error.find("'oops'"), std::string::npos);
+
+  EXPECT_FALSE(graph_from_text("3 1\n0 7\n", &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+
+  EXPECT_FALSE(graph_from_text("3 1\n1 1\n", &error).has_value());
+  EXPECT_NE(error.find("self-loop"), std::string::npos);
+
+  EXPECT_FALSE(graph_from_text("", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(GraphIo, HugeEdgeCountHeaderRejectsBeforeAllocating) {
+  // The claimed m is bounded by the tokens actually present before any
+  // reservation happens — and 2*m cannot overflow the arity check.
+  std::string error;
+  EXPECT_FALSE(
+      graph_from_text("4 18446744073709551615\n0 1\n", &error).has_value());
+  EXPECT_FALSE(graph_from_text("4 9223372036854775810\n0 1\n").has_value());
+  EXPECT_FALSE(graph_from_text("4 1000000000\n0 1\n").has_value());
+}
+
+TEST(GraphIo, RejectsOversizedNodeCount) {
+  std::string error;
+  EXPECT_FALSE(graph_from_text("4294967295 0\n", &error).has_value());
+  EXPECT_NE(error.find("node count"), std::string::npos);
+  EXPECT_FALSE(graph_from_text("18446744073709551616 0\n").has_value());
+}
+
+TEST(GraphIo, LoadDiagnosticIsPrefixedWithThePath) {
+  const std::string path = ::testing::TempDir() + "/radio_corrupt_graph.txt";
+  {
+    std::ofstream file(path);
+    file << "2 1\n0 banana\n";
+  }
+  std::string error;
+  EXPECT_FALSE(load_graph(path, &error).has_value());
+  EXPECT_NE(error.find(path), std::string::npos);
+  EXPECT_NE(error.find("'banana'"), std::string::npos);
 }
 
 TEST(GraphIo, FileRoundTrip) {

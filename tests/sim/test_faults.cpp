@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "analysis/workload.hpp"
 #include "core/distributed.hpp"
@@ -114,6 +115,38 @@ TEST(FaultySession, LossZeroLosesNothing) {
   session.step(std::vector<NodeId>{0});
   EXPECT_EQ(session.lost_deliveries(), 0u);
   EXPECT_TRUE(session.informed(1));
+}
+
+TEST(FaultySession, LossAccountingBalancesEveryRound) {
+  // Conservation law of the loss fault model: over any session, every
+  // unique delivery either informed a node (newly_informed) or was dropped
+  // (lost_deliveries counts drops, including repeated drops to the same
+  // node across rounds) — and the per-round ledger must balance:
+  // newly informed this round <= deliveries attempted, and the running
+  // lost counter is non-decreasing.
+  const NodeId n = 101;
+  std::vector<Edge> edges;
+  for (NodeId leaf = 1; leaf < n; ++leaf) edges.push_back({0, leaf});
+  const Graph g = Graph::from_edges(n, edges);
+  SessionFaults faults = make_loss_faults(0.5, 21);
+  BroadcastSession session(g, 0, faults);
+
+  std::uint64_t lost_before = 0;
+  std::uint64_t total_newly_informed = 1;  // the source, informed at round 0
+  for (int round = 0; round < 64 && !session.complete(); ++round) {
+    const std::size_t uninformed_before =
+        session.alive_count() - session.informed_count();
+    const RoundStats& stats = session.step(std::vector<NodeId>{0});
+    const std::uint64_t lost_now = session.lost_deliveries() - lost_before;
+    lost_before = session.lost_deliveries();
+    total_newly_informed += stats.newly_informed;
+    // Star from the center: every uninformed leaf heard the message, so
+    // deliveries split exactly into informed + lost.
+    EXPECT_EQ(stats.newly_informed + lost_now, uninformed_before);
+    EXPECT_EQ(session.informed_count(), total_newly_informed);
+  }
+  EXPECT_TRUE(session.complete());
+  EXPECT_GT(session.lost_deliveries(), 0u);  // loss=0.5 drops some delivery
 }
 
 TEST(FaultySession, LostDeliveryCanSucceedLater) {

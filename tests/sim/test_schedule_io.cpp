@@ -1,6 +1,8 @@
 // Schedule serialization: text round-trips, error handling, file helpers.
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "analysis/workload.hpp"
 #include "core/centralized.hpp"
 #include "sim/schedule_io.hpp"
@@ -59,6 +61,94 @@ TEST(ScheduleIo, RejectsRoundIndexMismatch) {
 TEST(ScheduleIo, RejectsMissingRounds) {
   const std::string text = "radio-schedule v1\nrounds 2\nround 0 p 0\n";
   EXPECT_FALSE(schedule_from_text(text).has_value());
+}
+
+TEST(ScheduleIo, HugeRoundsHeaderRejectsBeforeAllocating) {
+  // A corrupt header claiming 4 billion rounds used to drive a multi-GB
+  // resize before the first read failed; now it is bounds-checked against
+  // the input that is actually there.
+  std::string error;
+  EXPECT_FALSE(schedule_from_text(
+                   "radio-schedule v1\nrounds 4294967295\nround 0 - 0\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("rounds"), std::string::npos);
+  EXPECT_NE(error.find("4294967295"), std::string::npos);
+  EXPECT_FALSE(
+      schedule_from_text("radio-schedule v1\nrounds 18446744073709551615\n")
+          .has_value());
+}
+
+TEST(ScheduleIo, HugeTransmitterCountRejectsBeforeAllocating) {
+  std::string error;
+  EXPECT_FALSE(schedule_from_text(
+                   "radio-schedule v1\nrounds 1\nround 0 p 999999999 1 2\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("round 0"), std::string::npos);
+  EXPECT_NE(error.find("999999999"), std::string::npos);
+}
+
+TEST(ScheduleIo, DiagnosticsNameTheOffendingToken) {
+  std::string error;
+  EXPECT_FALSE(schedule_from_text("radio-schedule v1\nrounds x\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("'x'"), std::string::npos);
+
+  EXPECT_FALSE(schedule_from_text(
+                   "radio-schedule v1\nrounds 1\nround 0 p 1 banana\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("'banana'"), std::string::npos);
+
+  EXPECT_FALSE(schedule_from_text("bogus v1\nrounds 0\n", &error).has_value());
+  EXPECT_NE(error.find("radio-schedule"), std::string::npos);
+}
+
+TEST(ScheduleIo, RejectsNonMonotoneRoundIndices) {
+  std::string error;
+  EXPECT_FALSE(schedule_from_text(
+                   "radio-schedule v1\nrounds 2\nround 1 p 0\nround 0 p 0\n",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("out of order"), std::string::npos);
+}
+
+TEST(ScheduleIo, RejectsNegativeAndOverflowingIds) {
+  EXPECT_FALSE(
+      schedule_from_text("radio-schedule v1\nrounds 1\nround 0 p 1 -3\n")
+          .has_value());
+  EXPECT_FALSE(schedule_from_text(
+                   "radio-schedule v1\nrounds 1\nround 0 p 1 4294967295\n")
+                   .has_value());  // reserved kUnreachable-range id
+}
+
+TEST(ScheduleIo, EnforcesNodeCountWhenGiven) {
+  const std::string text =
+      "radio-schedule v1\nrounds 1\nround 0 p 2 3 9\n";
+  EXPECT_TRUE(schedule_from_text(text).has_value());
+  EXPECT_TRUE(schedule_from_text(text, nullptr, 10).has_value());
+  std::string error;
+  EXPECT_FALSE(schedule_from_text(text, &error, 9).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_NE(error.find("n=9"), std::string::npos);
+}
+
+TEST(ScheduleIo, RejectsTrailingGarbage) {
+  EXPECT_FALSE(schedule_from_text(
+                   "radio-schedule v1\nrounds 1\nround 0 - 0\nextra\n")
+                   .has_value());
+}
+
+TEST(ScheduleIo, LoadDiagnosticIsPrefixedWithThePath) {
+  const std::string path = ::testing::TempDir() + "/radio_corrupt_sched.txt";
+  {
+    std::ofstream file(path);
+    file << "radio-schedule v1\nrounds 2\nround 0 p 0\n";
+  }
+  std::string error;
+  EXPECT_FALSE(load_schedule(path, &error).has_value());
+  EXPECT_NE(error.find(path), std::string::npos);
 }
 
 TEST(ScheduleIo, FileRoundTrip) {

@@ -75,5 +75,41 @@ TEST(Cli, NegativeNumberAsSeparateValue) {
   EXPECT_EQ(args.get_int("delta", 0), -5);
 }
 
+TEST(Cli, MalformedIntIsAUsageErrorNotACrash) {
+  const CliArgs args = parse({"--n=abc"});
+  try {
+    (void)args.get_int("n", 0);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The diagnostic names the flag and the offending text.
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+  }
+}
+
+TEST(Cli, MalformedUintRejectsNegativeAndPartialTokens) {
+  EXPECT_THROW((void)parse({"--n=-3"}).get_uint("n", 0), std::runtime_error);
+  EXPECT_THROW((void)parse({"--n=12kb"}).get_uint("n", 0),
+               std::runtime_error);
+  EXPECT_THROW((void)parse({"--n=99999999999999999999"}).get_uint("n", 0),
+               std::runtime_error);
+}
+
+TEST(Cli, MalformedDoubleRejectsGarbageAndNonFinite) {
+  EXPECT_THROW((void)parse({"--p=zero"}).get_double("p", 0.0),
+               std::runtime_error);
+  EXPECT_THROW((void)parse({"--p=nan"}).get_double("p", 0.0),
+               std::runtime_error);
+  EXPECT_THROW((void)parse({"--p=1e999"}).get_double("p", 0.0),
+               std::runtime_error);
+}
+
+TEST(Cli, MalformedBoolIsAnErrorNotFalse) {
+  EXPECT_THROW((void)parse({"--flag=maybe"}).get_bool("flag", false),
+               std::runtime_error);
+  EXPECT_TRUE(parse({"--flag=on"}).get_bool("flag", false));
+  EXPECT_FALSE(parse({"--flag=off"}).get_bool("flag", true));
+}
+
 }  // namespace
 }  // namespace radio

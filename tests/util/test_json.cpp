@@ -127,6 +127,57 @@ TEST(Json, RoundTripsThroughDumpAndParse) {
   }
 }
 
+TEST(Json, RejectsDuplicateKeysWithOffset) {
+  try {
+    Json::parse(R"({"dup": 1, "dup": 2})");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate key 'dup'"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  // 500 unclosed arrays: the depth limit rejects long before the recursion
+  // can chew through the stack.
+  const std::string deep(500, '[');
+  try {
+    Json::parse(deep);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("128"), std::string::npos);
+  }
+  // 100 levels (within the limit) still parse.
+  std::string ok(100, '[');
+  ok += "1";
+  ok.append(100, ']');
+  EXPECT_NO_THROW(Json::parse(ok));
+}
+
+TEST(Json, RejectsNonFiniteAndOverflowingNumbers) {
+  EXPECT_THROW(Json::parse("1e999"), std::runtime_error);
+  EXPECT_THROW(Json::parse("-1e999"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nan"), std::runtime_error);   // invalid literal
+  EXPECT_THROW(Json::parse("inf"), std::runtime_error);
+  // Integers past uint64 fall through to double (documented widening).
+  EXPECT_DOUBLE_EQ(Json::parse("18446744073709551616").as_double(), 1.8446744073709552e19);
+}
+
+TEST(Json, RejectsTruncatedDocumentsWithByteOffsets) {
+  for (const char* bad :
+       {"{\"a\": ", "[1, 2", "\"unterminated", "{\"a\"", "tru"}) {
+    try {
+      Json::parse(bad);
+      FAIL() << "'" << bad << "' should be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("json parse error at byte"),
+                std::string::npos)
+          << bad;
+    }
+  }
+}
+
 TEST(Json, TypeMismatchesThrow) {
   EXPECT_THROW(Json(1).as_string(), std::runtime_error);
   EXPECT_THROW(Json("x").as_double(), std::runtime_error);

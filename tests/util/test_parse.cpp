@@ -1,0 +1,129 @@
+// The strict parse layer every untrusted boundary routes through: whole-token
+// matching, overflow as error, finite doubles only, diagnostics that name
+// the source and the offending text.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace radio {
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimals) {
+  const auto r = parse_u64("42", "--seed");
+  ASSERT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(*r, 42u);
+  EXPECT_TRUE(r.error().empty());
+  EXPECT_EQ(*parse_u64("0", "x"), 0u);
+  EXPECT_EQ(*parse_u64("18446744073709551615", "x"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsGarbageWithSourceAndText) {
+  const auto r = parse_u64("abc", "--seed");
+  ASSERT_FALSE(static_cast<bool>(r));
+  EXPECT_NE(r.error().find("--seed"), std::string::npos);
+  EXPECT_NE(r.error().find("'abc'"), std::string::npos);
+}
+
+TEST(ParseU64, RejectsPartialTokensNegativesAndOverflow) {
+  EXPECT_FALSE(static_cast<bool>(parse_u64("12kb", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64("1 2", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64(" 1", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64("", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64("-1", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64("+1", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64("18446744073709551616", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_u64("0x10", "x")));
+}
+
+TEST(ParseU64, EnforcesRange) {
+  EXPECT_TRUE(static_cast<bool>(parse_u64("5", "x", 1, 10)));
+  const auto low = parse_u64("0", "x", 1, 10);
+  ASSERT_FALSE(static_cast<bool>(low));
+  EXPECT_NE(low.error().find("[1, 10]"), std::string::npos);
+  EXPECT_FALSE(static_cast<bool>(parse_u64("11", "x", 1, 10)));
+}
+
+TEST(ParseInt, AcceptsNegatives) {
+  EXPECT_EQ(*parse_int("-5", "--delta"), -5);
+  EXPECT_EQ(*parse_int("0", "x"), 0);
+  EXPECT_EQ(*parse_int("-9223372036854775808", "x"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseInt, RejectsGarbageAndOverflow) {
+  EXPECT_FALSE(static_cast<bool>(parse_int("abc", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_int("9223372036854775808", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_int("1.5", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_int("", "x")));
+}
+
+TEST(ParseInt, EnforcesRange) {
+  const auto r = parse_int("-3", "--trials", 1, 1000);
+  ASSERT_FALSE(static_cast<bool>(r));
+  EXPECT_NE(r.error().find("--trials"), std::string::npos);
+  EXPECT_NE(r.error().find("'-3'"), std::string::npos);
+}
+
+TEST(ParseDouble, AcceptsDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.25", "--p"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e-3", "x"), -1e-3);
+  EXPECT_DOUBLE_EQ(*parse_double("3", "x"), 3.0);
+}
+
+TEST(ParseDouble, RejectsNonFinite) {
+  EXPECT_FALSE(static_cast<bool>(parse_double("nan", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_double("inf", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_double("-inf", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_double("1e999", "x")));
+}
+
+TEST(ParseDouble, RejectsGarbageAndEnforcesRange) {
+  EXPECT_FALSE(static_cast<bool>(parse_double("0.5x", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_double("", "x")));
+  EXPECT_FALSE(static_cast<bool>(parse_double("0.5", "x", 0.6, 1.0)));
+  EXPECT_TRUE(static_cast<bool>(parse_double("0.5", "x", 0.0, 1.0)));
+}
+
+TEST(ParseBool, AcceptsCanonicalSpellings) {
+  for (const char* t : {"true", "1", "yes", "on"}) EXPECT_TRUE(*parse_bool(t, "x"));
+  for (const char* f : {"false", "0", "no", "off"})
+    EXPECT_FALSE(*parse_bool(f, "x"));
+}
+
+TEST(ParseBool, RejectsEverythingElse) {
+  for (const char* bad : {"maybe", "TRUE", "2", "", "yess"}) {
+    const auto r = parse_bool(bad, "RADIO_FULL");
+    ASSERT_FALSE(static_cast<bool>(r)) << bad;
+    EXPECT_NE(r.error().find("RADIO_FULL"), std::string::npos);
+  }
+}
+
+TEST(Parsed, ValueOrThrowCarriesTheDiagnostic) {
+  EXPECT_EQ(parse_u64("7", "x").value_or_throw(), 7u);
+  try {
+    parse_u64("junk", "--seed").value_or_throw();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("--seed"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'junk'"), std::string::npos);
+  }
+}
+
+TEST(Parsed, DiagnosticsBoundAndEscapeHostileText) {
+  const std::string huge(1000, 'A');
+  const auto r = parse_u64(huge, "x");
+  ASSERT_FALSE(static_cast<bool>(r));
+  EXPECT_LT(r.error().size(), 200u);  // offending text is truncated
+  const auto ctrl = parse_u64("1\x01\n2", "x");
+  ASSERT_FALSE(static_cast<bool>(ctrl));
+  EXPECT_NE(ctrl.error().find("\\x01"), std::string::npos);
+  EXPECT_EQ(ctrl.error().find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radio
