@@ -5,23 +5,40 @@
 # must emit 15 manifests that scripts/bench_report.py validates. This gates
 # registry completeness and manifest well-formedness, not performance.
 #
-# A second stage rebuilds with AddressSanitizer+UBSan (abort on first
-# finding) and re-runs the suite plus a 10k-iteration fuzz smoke over the
-# committed corpora, so memory bugs and UB in the input boundary fail CI
-# rather than silently corrupting experiment numbers.
+# Static-analysis stages (docs/static-analysis.md):
+#   * radio-lint runs first — it needs no build and fails fast on invariant
+#     violations (raw parsing, global RNG, wall clocks in sim code, ...).
+#   * clang-tidy runs diff-aware against origin/main when the tool is
+#     installed (bugprone/concurrency/performance profile in .clang-tidy);
+#     absent tool = announced skip, never a silent pass of a broken config.
+#
+# Sanitizer stages (skippable via RADIO_CI_SKIP_SANITIZERS=1 for the fast
+# local loop) share one parameterized rebuild/ctest/fuzz function:
+#   * asan: ASan+UBSan, full suite + 10k-iteration fuzz smoke per harness —
+#     memory bugs and UB in the input boundary fail CI rather than silently
+#     corrupting experiment numbers.
+#   * tsan: ThreadSanitizer over the OpenMP-heavy suites (trial runner,
+#     thread-count determinism, dense/sparse dual-path differential tests)
+#     at OMP_NUM_THREADS=4 — data races in run_trials' failure capture or
+#     the engine's parallel paths fail CI.
 #
 # Usage: scripts/ci.sh [build-dir]   (default: build)
-#   RADIO_CI_SKIP_SANITIZERS=1 skips the sanitizer stage (fast local loop).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# ---------------------------------------------------------------- radio-lint
+python3 scripts/radio_lint.py
+
+# ------------------------------------------------------- build + full ctest
 rm -rf "$BUILD_DIR"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+# ------------------------------------------------------------- bench smoke
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
 "$BUILD_DIR/bench/radio_bench" run --all --trials 2 --seed 7 --quick \
@@ -38,18 +55,64 @@ if RADIO_TRIALS=junk "$BUILD_DIR/bench/radio_bench" run E1 2>/dev/null; then
   echo "ci: radio_bench accepted RADIO_TRIALS=junk" >&2; exit 1
 fi
 
-if [[ "${RADIO_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
-  SAN_DIR="${BUILD_DIR}-asan"
-  SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
-  rm -rf "$SAN_DIR"
-  cmake -B "$SAN_DIR" -S . \
+# -------------------------------------------------------------- clang-tidy
+# Diff-aware: lint only translation units changed since the merge-base with
+# origin/main; fall back to the full src/+bench/ sweep when there is no
+# usable base (fresh clone, detached CI checkout, first commit).
+if command -v clang-tidy >/dev/null 2>&1; then
+  TIDY_FILES=()
+  BASE="$(git merge-base HEAD origin/main 2>/dev/null || true)"
+  if [[ -n "$BASE" ]] && ! git diff --quiet "$BASE" -- src bench 2>/dev/null; then
+    while IFS= read -r f; do
+      [[ -f "$f" ]] && TIDY_FILES+=("$f")
+    done < <(git diff --name-only "$BASE" -- 'src/**/*.cpp' 'bench/*.cpp')
+  elif [[ -z "$BASE" ]]; then
+    while IFS= read -r f; do
+      TIDY_FILES+=("$f")
+    done < <(git ls-files 'src/**/*.cpp' 'bench/*.cpp')
+  fi
+  if [[ ${#TIDY_FILES[@]} -gt 0 ]]; then
+    echo "ci: clang-tidy over ${#TIDY_FILES[@]} file(s)" >&2
+    clang-tidy -p "$BUILD_DIR" --quiet "${TIDY_FILES[@]}"
+  else
+    echo "ci: clang-tidy — no changed translation units" >&2
+  fi
+else
+  echo "ci: clang-tidy not installed — skipping tidy stage" >&2
+fi
+
+# -------------------------------------------------------- sanitizer stages
+# run_sanitizer_stage <name> <flags> <ctest-regex|-> <fuzz|nofuzz> [ENV=V...]
+# Rebuilds the tree in ${BUILD_DIR}-<name> with the given sanitizer flags,
+# runs ctest (optionally filtered), and optionally replays the fuzz corpora.
+run_sanitizer_stage() {
+  local name="$1" flags="$2" test_regex="$3" fuzz_mode="$4"
+  shift 4
+  local dir="${BUILD_DIR}-${name}" ctest_args=()
+  [[ "$test_regex" != "-" ]] && ctest_args+=(-R "$test_regex")
+  rm -rf "$dir"
+  cmake -B "$dir" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
-    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
-  cmake --build "$SAN_DIR" -j
-  ctest --test-dir "$SAN_DIR" --output-on-failure \
-    -j "$(nproc 2>/dev/null || echo 4)"
-  # Fuzz harnesses under sanitizers: corpus replay + 10k mutated inputs each.
-  "$SAN_DIR/tests/fuzz/fuzz_schedule_text" tests/fuzz/corpus/schedule --iters 10000
-  "$SAN_DIR/tests/fuzz/fuzz_json" tests/fuzz/corpus/json --iters 10000
+    -DCMAKE_CXX_FLAGS="$flags" \
+    -DCMAKE_EXE_LINKER_FLAGS="$flags"
+  cmake --build "$dir" -j
+  env "$@" ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+    "${ctest_args[@]}"
+  if [[ "$fuzz_mode" == "fuzz" ]]; then
+    # Fuzz harnesses under sanitizers: corpus replay + 10k mutated inputs.
+    env "$@" "$dir/tests/fuzz/fuzz_schedule_text" \
+      tests/fuzz/corpus/schedule --iters 10000
+    env "$@" "$dir/tests/fuzz/fuzz_json" tests/fuzz/corpus/json --iters 10000
+  fi
+}
+
+if [[ "${RADIO_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  run_sanitizer_stage asan \
+    "-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    - fuzz
+  run_sanitizer_stage tsan \
+    "-fsanitize=thread -fno-omit-frame-pointer" \
+    'TrialRunner|ThreadDeterminism|EngineEquivalence|DenseKernel|EngineDense' \
+    nofuzz \
+    OMP_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1"
 fi

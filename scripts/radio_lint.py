@@ -1,0 +1,652 @@
+#!/usr/bin/env python3
+"""radio-lint: project-invariant checker for the radio_random_graphs tree.
+
+The repo's correctness story rests on a handful of conventions that normal
+compilers cannot enforce: every untrusted token is parsed through
+``util/parse``, every random draw flows from ``Rng::for_stream`` so trial
+results are bit-identical at any thread count, simulation code never reads
+wall clocks, and hot kernels never touch stream I/O. This tool machine-checks
+those conventions as named, suppressible rules, in the same one-line
+diagnostic format ``util/parse`` uses:
+
+    src/foo.cpp:42: radio-lint(no-raw-parse): call to 'atoi' ...
+
+Rules (see docs/static-analysis.md for the catalogue with rationale):
+
+  no-raw-parse                    raw numeric parsing outside util/parse
+  no-global-rng                   global/stdlib RNG outside util/rng
+  rng-stream-discipline           Rng construction inside `#pragma omp
+                                  parallel` regions must use Rng::for_stream
+  no-wallclock-in-sim             wall-clock reads outside bench/ and the
+                                  bench_runner timing code
+  no-iostream-in-kernel           stream I/O / printf in hot kernel files
+  no-unordered-iteration-to-output
+                                  ranged-for over unordered containers whose
+                                  body writes to output sinks (tables, CSV,
+                                  JSON, streams)
+
+Suppression: append on the flagged line (or on a comment-only line directly
+above it)::
+
+    // radio-lint: allow(<rule>) -- <justification>
+
+The justification is mandatory; a bare ``allow(...)`` is itself reported.
+
+File discovery: translation units listed in ``compile_commands.json``
+(``--compile-commands``, default ``build/compile_commands.json`` when
+present) unioned with every ``*.cpp`` / ``*.hpp`` under the scan roots
+(default: ``src bench examples``), so headers — which never appear in the
+compile database — are always covered. Exits 0 when clean, 1 with one
+diagnostic per line when not, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable
+
+# --------------------------------------------------------------------------
+# Rule table
+# --------------------------------------------------------------------------
+
+RULE_NO_RAW_PARSE = "no-raw-parse"
+RULE_NO_GLOBAL_RNG = "no-global-rng"
+RULE_RNG_STREAM = "rng-stream-discipline"
+RULE_NO_WALLCLOCK = "no-wallclock-in-sim"
+RULE_NO_IOSTREAM = "no-iostream-in-kernel"
+RULE_NO_UNORDERED_OUT = "no-unordered-iteration-to-output"
+
+ALL_RULES = (
+    RULE_NO_RAW_PARSE,
+    RULE_NO_GLOBAL_RNG,
+    RULE_RNG_STREAM,
+    RULE_NO_WALLCLOCK,
+    RULE_NO_IOSTREAM,
+    RULE_NO_UNORDERED_OUT,
+)
+
+# Paths are matched on '/'-separated repo-relative form.
+
+# no-raw-parse: the strict boundary lives here and may use the raw calls.
+RAW_PARSE_ALLOWED = ("src/util/parse.cpp", "src/util/parse.hpp")
+RAW_PARSE_RE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(atoi|atol|atoll|strtol|strtoll|strtoul|strtoull|strtof|strtod|strtold"
+    r"|stoi|stol|stoll|stoul|stoull|stof|stod|stold|sscanf|fscanf|scanf)"
+    r"\s*\("
+)
+
+# no-global-rng: only util/rng may talk to stdlib randomness.
+GLOBAL_RNG_ALLOWED = ("src/util/rng.cpp", "src/util/rng.hpp")
+GLOBAL_RNG_RE = re.compile(
+    r"\b(?:std\s*::\s*)?"
+    r"(rand|srand|srandom|rand_r|drand48|lrand48|random_device"
+    r"|mt19937|mt19937_64|minstd_rand|minstd_rand0|default_random_engine"
+    r"|ranlux24|ranlux48|knuth_b)\b"
+)
+
+# no-wallclock-in-sim: timing belongs to the bench harness, not simulations.
+WALLCLOCK_ALLOWED_PREFIXES = ("bench/",)
+WALLCLOCK_ALLOWED_FILES = (
+    # The runner's wall_seconds / generated_at provenance is the one
+    # sanctioned timing site outside bench/.
+    "src/analysis/bench_runner.cpp",
+)
+WALLCLOCK_RE = re.compile(
+    r"\b(steady_clock|system_clock|high_resolution_clock)\b"
+    r"|\b(?:std\s*::\s*)?(time|clock|gettimeofday|clock_gettime|timespec_get)\s*\("
+)
+
+# no-iostream-in-kernel: files on the dense-round / BFS hot path.
+KERNEL_FILES = (
+    "src/sim/channel_kernel.cpp",
+    "src/sim/channel_kernel.hpp",
+    "src/graph/bfs.cpp",
+    "src/graph/bfs.hpp",
+)
+IOSTREAM_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"](iostream|ostream|istream|fstream|sstream|cstdio|stdio\.h)[>"]'
+)
+IOSTREAM_CALL_RE = re.compile(
+    r"\bstd\s*::\s*(cout|cerr|clog)\b"
+    r"|\b(printf|fprintf|sprintf|snprintf|puts|fputs|fwrite)\s*\("
+)
+
+# no-unordered-iteration-to-output: sinks that make iteration order
+# observable in results.
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*"
+    r"&?\s*([A-Za-z_]\w*)\s*[;({=,)]"
+)
+RANGED_FOR_RE = re.compile(r"\bfor\s*\(")
+OUTPUT_SINK_RE = re.compile(
+    r"<<"
+    r"|\b(printf|fprintf|fputs|fwrite)\s*\("
+    r"|\.\s*cell\s*\("
+    r"|\bwrite_csv\b|\bto_csv\b"
+    r"|\.\s*set\s*\(|\.\s*append\s*\("
+    r"|\bpush_back\b.*\b(csv|json|row|line|out)"
+)
+
+OMP_PARALLEL_RE = re.compile(r"#\s*pragma\s+omp\s.*\bparallel\b")
+RNG_CONSTRUCT_RE = re.compile(
+    r"\bRng\s+[A-Za-z_]\w*\s*[({=]|\bRng\s*[({]"
+)
+
+SUPPRESS_RE = re.compile(
+    r"//\s*radio-lint:\s*allow\(\s*([a-z0-9-]+)\s*\)\s*(?:--|:)?\s*(.*\S)?\s*$"
+)
+
+CPP_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".inl")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: radio-lint({self.rule}): {self.message}"
+
+
+@dataclass
+class Suppression:
+    rule: str
+    justification: str
+    own_line: int  # 1-based line the comment sits on
+    comment_only: bool
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, '/'-separated
+    raw_lines: list[str] = field(default_factory=list)
+    code_lines: list[str] = field(default_factory=list)  # comments/strings blanked
+    suppressions: list[Suppression] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Tokenizer: blank comments and string/char literals, keep line structure
+# --------------------------------------------------------------------------
+
+def scrub_source(text: str) -> str:
+    """Returns `text` with comment and string/char literal *contents* replaced
+    by spaces. Newlines survive so findings keep their line numbers. Handles
+    //, /* */, "..." with escapes, '...' and raw strings R"delim(...)delim"."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        if state == NORMAL:
+            if c == "/" and i + 1 < n and text[i + 1] == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and i + 1 < n and text[i + 1] == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string? Look back for R / u8R / LR / UR / uR prefix.
+                m = re.search(r'(?:u8|[uUL])?R$', text[max(0, i - 3):i])
+                if m:
+                    j = text.find("(", i + 1)
+                    if j != -1 and j - i - 1 <= 16:
+                        raw_terminator = ")" + text[i + 1:j] + '"'
+                        state = RAW
+                        out.append('"')
+                        out.append(" " * (j - i))
+                        i = j + 1
+                        continue
+                state = STRING
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append('"')
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # RAW
+            if text.startswith(raw_terminator, i):
+                state = NORMAL
+                out.append(" " * (len(raw_terminator) - 1) + '"')
+                i += len(raw_terminator)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def load_source(path: str, repo_root: str) -> SourceFile:
+    abs_path = os.path.join(repo_root, path)
+    with open(abs_path, encoding="utf-8", errors="replace") as fh:
+        text = fh.read()
+    raw_lines = text.splitlines()
+    code_lines = scrub_source(text).splitlines()
+    # scrub preserves line count except trailing-newline trivia; pad to match.
+    while len(code_lines) < len(raw_lines):
+        code_lines.append("")
+    sf = SourceFile(path=path, raw_lines=raw_lines, code_lines=code_lines)
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        comment_only = line[: m.start()].strip() == ""
+        sf.suppressions.append(
+            Suppression(
+                rule=m.group(1),
+                justification=(m.group(2) or "").strip(),
+                own_line=idx,
+                comment_only=comment_only,
+            )
+        )
+    return sf
+
+
+# --------------------------------------------------------------------------
+# Rule implementations. Each yields Finding (line numbers 1-based).
+# --------------------------------------------------------------------------
+
+def check_no_raw_parse(sf: SourceFile) -> Iterable[Finding]:
+    if sf.path in RAW_PARSE_ALLOWED:
+        return
+    for idx, line in enumerate(sf.code_lines, start=1):
+        for m in RAW_PARSE_RE.finditer(line):
+            yield Finding(
+                sf.path, idx, RULE_NO_RAW_PARSE,
+                f"call to '{m.group(1)}' outside util/parse — route untrusted "
+                "tokens through radio::parse_u64/parse_int/parse_double/"
+                "parse_bool (src/util/parse.hpp)",
+            )
+
+
+def check_no_global_rng(sf: SourceFile) -> Iterable[Finding]:
+    if sf.path in GLOBAL_RNG_ALLOWED:
+        return
+    for idx, line in enumerate(sf.code_lines, start=1):
+        for m in GLOBAL_RNG_RE.finditer(line):
+            yield Finding(
+                sf.path, idx, RULE_NO_GLOBAL_RNG,
+                f"use of '{m.group(1)}' outside util/rng — derive randomness "
+                "from radio::Rng::for_stream(seed, stream) so trials stay "
+                "reproducible at any thread count",
+            )
+
+
+def _statement_tail(lines: list[str], start_idx: int, max_lines: int = 5) -> str:
+    """Joins lines[start_idx:] (0-based) until a ';' closes the statement."""
+    parts: list[str] = []
+    for line in lines[start_idx: start_idx + max_lines]:
+        parts.append(line)
+        if ";" in line:
+            break
+    return " ".join(parts)
+
+
+def _omp_region_bounds(code_lines: list[str], pragma_idx: int) -> tuple[int, int]:
+    """Returns (first, last) 0-based line indices of the parallel region that
+    the `#pragma omp ... parallel` on `pragma_idx` governs: scans forward for
+    the first '{' and tracks brace depth until it closes. Falls back to the
+    single following statement when the region is brace-less."""
+    depth = 0
+    seen_brace = False
+    last = pragma_idx
+    for j in range(pragma_idx + 1, min(len(code_lines), pragma_idx + 400)):
+        line = code_lines[j]
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                seen_brace = True
+            elif ch == "}":
+                depth -= 1
+        last = j
+        if seen_brace and depth <= 0:
+            return (pragma_idx + 1, last)
+        if not seen_brace and ";" in line:
+            # brace-less `#pragma omp parallel for` over a single statement
+            return (pragma_idx + 1, last)
+    return (pragma_idx + 1, last)
+
+
+def check_rng_stream_discipline(sf: SourceFile) -> Iterable[Finding]:
+    lines = sf.code_lines
+    for idx, line in enumerate(lines):
+        if not OMP_PARALLEL_RE.search(line):
+            continue
+        first, last = _omp_region_bounds(lines, idx)
+        for j in range(first, last + 1):
+            if not RNG_CONSTRUCT_RE.search(lines[j]):
+                continue
+            stmt = _statement_tail(lines, j)
+            if "for_stream" in stmt:
+                continue
+            yield Finding(
+                sf.path, j + 1, RULE_RNG_STREAM,
+                "Rng constructed inside an OpenMP parallel region without "
+                "Rng::for_stream — per-trial streams are the only "
+                "thread-count-independent way to draw randomness "
+                "(src/analysis/trial_runner.hpp)",
+            )
+
+
+def check_no_wallclock(sf: SourceFile) -> Iterable[Finding]:
+    if sf.path in WALLCLOCK_ALLOWED_FILES:
+        return
+    if any(sf.path.startswith(p) for p in WALLCLOCK_ALLOWED_PREFIXES):
+        return
+    for idx, line in enumerate(sf.code_lines, start=1):
+        for m in WALLCLOCK_RE.finditer(line):
+            name = m.group(1) or m.group(2)
+            yield Finding(
+                sf.path, idx, RULE_NO_WALLCLOCK,
+                f"wall-clock read '{name}' outside bench/ — simulated time is "
+                "round-counted; real time belongs to the bench harness and "
+                "bench_runner provenance only",
+            )
+
+
+def check_no_iostream_in_kernel(sf: SourceFile) -> Iterable[Finding]:
+    if sf.path not in KERNEL_FILES:
+        return
+    for idx, line in enumerate(sf.code_lines, start=1):
+        m = IOSTREAM_INCLUDE_RE.search(line)
+        if m:
+            yield Finding(
+                sf.path, idx, RULE_NO_IOSTREAM,
+                f"<{m.group(1)}> included in a hot kernel file — stream I/O "
+                "in the dense-round/BFS path wrecks both codegen and "
+                "cache behaviour; log from the caller instead",
+            )
+            continue
+        m = IOSTREAM_CALL_RE.search(line)
+        if m:
+            name = m.group(1) or m.group(2)
+            yield Finding(
+                sf.path, idx, RULE_NO_IOSTREAM,
+                f"stream I/O call '{name}' in a hot kernel file — return data "
+                "and let the caller do the printing",
+            )
+
+
+def _loop_body_bounds(code_lines: list[str], for_idx: int) -> tuple[int, int]:
+    """Bounds (0-based, inclusive) of a for statement's body starting at the
+    line holding `for (`."""
+    depth = 0
+    seen_brace = False
+    paren = 0
+    seen_paren = False
+    last = for_idx
+    for j in range(for_idx, min(len(code_lines), for_idx + 200)):
+        for ch in code_lines[j]:
+            if ch == "(":
+                paren += 1
+                seen_paren = True
+            elif ch == ")":
+                paren -= 1
+            elif ch == "{" and seen_paren and paren == 0:
+                depth += 1
+                seen_brace = True
+            elif ch == "}" and seen_brace:
+                depth -= 1
+        last = j
+        if seen_brace and depth <= 0:
+            return (for_idx, last)
+        if not seen_brace and seen_paren and paren == 0 and ";" in code_lines[j]:
+            return (for_idx, last)
+    return (for_idx, last)
+
+
+def check_no_unordered_iteration_to_output(sf: SourceFile) -> Iterable[Finding]:
+    lines = sf.code_lines
+    unordered_vars = set()
+    for line in lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group(1))
+    for idx, line in enumerate(lines):
+        m = RANGED_FOR_RE.search(line)
+        if m is None:
+            continue
+        header = _statement_tail(lines, idx, max_lines=3)
+        colon = re.search(r"\bfor\s*\(([^;]*?):([^)]*)\)", header)
+        if colon is None:
+            continue  # classic for, not ranged
+        range_expr = colon.group(2)
+        iterates_unordered = "unordered_" in range_expr or any(
+            re.search(rf"\b{re.escape(v)}\b", range_expr) for v in unordered_vars
+        )
+        if not iterates_unordered:
+            continue
+        first, last = _loop_body_bounds(lines, idx)
+        body = " ".join(lines[first: last + 1])
+        if OUTPUT_SINK_RE.search(body):
+            yield Finding(
+                sf.path, idx + 1, RULE_NO_UNORDERED_OUT,
+                "ranged-for over an unordered container feeds an output sink "
+                "— iteration order is implementation-defined, so results/CSV/"
+                "JSON become nondeterministic; copy to a vector and sort "
+                "first",
+            )
+
+
+RULE_CHECKS = {
+    RULE_NO_RAW_PARSE: check_no_raw_parse,
+    RULE_NO_GLOBAL_RNG: check_no_global_rng,
+    RULE_RNG_STREAM: check_rng_stream_discipline,
+    RULE_NO_WALLCLOCK: check_no_wallclock,
+    RULE_NO_IOSTREAM: check_no_iostream_in_kernel,
+    RULE_NO_UNORDERED_OUT: check_no_unordered_iteration_to_output,
+}
+
+
+# --------------------------------------------------------------------------
+# Suppression application
+# --------------------------------------------------------------------------
+
+def apply_suppressions(sf: SourceFile, findings: list[Finding]) -> list[Finding]:
+    """Drops findings covered by a justified allow() on the same line or on a
+    comment-only line directly above. Unjustified or unused suppressions are
+    themselves findings."""
+    kept: list[Finding] = []
+    for f in findings:
+        covered = None
+        for s in sf.suppressions:
+            if s.rule != f.rule:
+                continue
+            if s.own_line == f.line or (s.comment_only and s.own_line == f.line - 1):
+                covered = s
+                break
+        if covered is None:
+            kept.append(f)
+        elif not covered.justification:
+            covered.used = True
+            kept.append(
+                Finding(
+                    sf.path, covered.own_line, f.rule,
+                    f"suppression of '{f.rule}' is missing a justification — "
+                    "write `// radio-lint: allow(" + f.rule + ") -- <why>`",
+                )
+            )
+        else:
+            covered.used = True
+    for s in sf.suppressions:
+        if s.rule not in ALL_RULES:
+            kept.append(
+                Finding(
+                    sf.path, s.own_line, "unknown-rule",
+                    f"allow() names unknown rule '{s.rule}' — known rules: "
+                    + ", ".join(ALL_RULES),
+                )
+            )
+        elif not s.used:
+            kept.append(
+                Finding(
+                    sf.path, s.own_line, "unused-suppression",
+                    f"allow({s.rule}) suppresses nothing on this or the next "
+                    "line — delete it or move it next to the violation",
+                )
+            )
+    return kept
+
+
+def scan_file(sf: SourceFile, rules: Iterable[str] = ALL_RULES) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(RULE_CHECKS[rule](sf))
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return apply_suppressions(sf, findings)
+
+
+# --------------------------------------------------------------------------
+# File discovery
+# --------------------------------------------------------------------------
+
+def files_from_compile_commands(cc_path: str, repo_root: str) -> list[str]:
+    try:
+        with open(cc_path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, ValueError) as e:
+        raise SystemExit(f"radio-lint: cannot read {cc_path}: {e}")
+    result = []
+    root = os.path.realpath(repo_root)
+    for entry in entries:
+        f = entry.get("file", "")
+        if not os.path.isabs(f):
+            f = os.path.join(entry.get("directory", ""), f)
+        f = os.path.realpath(f)
+        if not f.startswith(root + os.sep):
+            continue
+        rel = os.path.relpath(f, root).replace(os.sep, "/")
+        if rel.startswith(("build", "tests/")):
+            continue
+        result.append(rel)
+    return result
+
+
+def files_from_roots(roots: Iterable[str], repo_root: str) -> list[str]:
+    result = []
+    for r in roots:
+        base = os.path.join(repo_root, r)
+        if os.path.isfile(base):
+            result.append(os.path.relpath(base, repo_root).replace(os.sep, "/"))
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in filenames:
+                if name.endswith(CPP_EXTENSIONS):
+                    rel = os.path.relpath(
+                        os.path.join(dirpath, name), repo_root
+                    ).replace(os.sep, "/")
+                    result.append(rel)
+    return result
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="radio-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan "
+                             "(default: src bench examples)")
+    parser.add_argument("--compile-commands", metavar="JSON",
+                        help="compile_commands.json to union with the scan "
+                             "roots (default: build/compile_commands.json "
+                             "when present)")
+    parser.add_argument("--rule", action="append", choices=ALL_RULES,
+                        help="check only this rule (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule names and exit")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of scripts/)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    repo_root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    roots = args.paths or ["src", "bench", "examples"]
+    files = set(files_from_roots(roots, repo_root))
+
+    cc = args.compile_commands
+    if cc is None:
+        default_cc = os.path.join(repo_root, "build", "compile_commands.json")
+        if os.path.isfile(default_cc):
+            cc = default_cc
+    if cc:
+        files.update(files_from_compile_commands(cc, repo_root))
+
+    rules = tuple(args.rule) if args.rule else ALL_RULES
+    findings: list[Finding] = []
+    for path in sorted(files):
+        abs_path = os.path.join(repo_root, path)
+        if not os.path.isfile(abs_path):
+            print(f"radio-lint: no such file: {path}", file=sys.stderr)
+            return 2
+        findings.extend(scan_file(load_source(path, repo_root), rules))
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"radio-lint: {len(findings)} violation(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

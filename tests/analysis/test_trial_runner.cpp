@@ -55,6 +55,40 @@ TEST(TrialRunner, AllTrialsThrowingStillRaisesExactlyOne) {
                std::logic_error);
 }
 
+TEST(TrialRunner, FailureCaptureIsThreadSafeUnderHammer) {
+  // Race-regression target for the TSan CI stage (scripts/ci.sh runs this
+  // suite under -fsanitize=thread at OMP_NUM_THREADS=4): every trial throws,
+  // so all worker threads pile into the failure-capture critical section at
+  // once, repeatedly. The rethrown message must be one that a trial actually
+  // raised — a torn std::exception_ptr write would surface here or as a TSan
+  // report.
+  for (int rep = 0; rep < 50; ++rep) {
+    try {
+      run_trials<int>(64, static_cast<std::uint64_t>(rep),
+                      [](int i, Rng&) -> int {
+                        throw std::runtime_error("trial-" + std::to_string(i));
+                      });
+      FAIL() << "expected run_trials to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("trial-", 0), 0u) << e.what();
+    }
+  }
+}
+
+TEST(TrialRunner, MixedFailuresDoNotRaceSuccessfulSlots) {
+  // Half the trials throw while the other half write their result slots;
+  // the writes are disjoint by construction and must stay that way.
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_THROW(run_trials<int>(64, static_cast<std::uint64_t>(rep),
+                                 [](int i, Rng& rng) -> int {
+                                   if (i % 2 == 0)
+                                     throw std::runtime_error("even trial");
+                                   return static_cast<int>(rng() & 0xff);
+                                 }),
+                 std::runtime_error);
+  }
+}
+
 TEST(TrialRunner, ZeroTrialsReturnsEmpty) {
   const std::vector<int> r = run_trials<int>(0, 5, [](int, Rng&) { return 1; });
   EXPECT_TRUE(r.empty());

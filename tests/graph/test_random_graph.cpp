@@ -129,7 +129,9 @@ TEST(Gnm, BothBranchesExactAndSimple) {
       const auto nbrs = g.neighbors(v);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         EXPECT_NE(nbrs[i], v);
-        if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+        if (i > 0) {
+          EXPECT_LT(nbrs[i - 1], nbrs[i]);
+        }
       }
     }
   }

@@ -1,0 +1,13 @@
+// Fixture: no-wallclock-in-sim negative case — timing under bench/ is the
+// sanctioned home for wall clocks (harness measurement, not simulation).
+#include <chrono>
+
+double measure() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+// Identifiers containing "time" must not be flagged outside bench/ either:
+// wall_time(), to_time_t(), runtime_config() are exercised in the violation
+// fixture's sibling (see test_radio_lint.py negative assertions).

@@ -1,0 +1,7 @@
+// Fixture: no-iostream-in-kernel negative case — a hot-file-list path with
+// no stream I/O at all.
+#pragma once
+#include <cstdint>
+#include <vector>
+
+std::vector<std::uint32_t> bfs_layers(std::uint32_t n, std::uint32_t root);

@@ -1,0 +1,14 @@
+// Fixture: no-iostream-in-kernel positive + suppressed cases. This path
+// (src/sim/channel_kernel.cpp) is on the rule's hot-file list.
+#include <iostream>  // line 3: flagged (include)
+#include <cstdio>    // line 4: flagged (include)
+
+void step_debug(int round) {
+  std::cout << "round " << round << "\n";  // line 7: flagged (std::cout)
+  printf("round %d\n", round);             // line 8: flagged (printf)
+}
+
+void step_traced(int round) {
+  // radio-lint: allow(no-iostream-in-kernel) -- temporary trace behind RADIO_TRACE, stripped in release
+  std::cerr << "trace " << round << "\n";
+}

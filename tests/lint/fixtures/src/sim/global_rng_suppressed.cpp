@@ -1,0 +1,8 @@
+// Fixture: no-global-rng suppressed case.
+#include <random>
+
+unsigned int entropy_for_port_selection() {
+  // radio-lint: allow(no-global-rng) -- OS entropy for an ephemeral port, not a simulation draw
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,10 @@
+// Fixture: no-global-rng positive case — stdlib randomness outside util/rng.
+#include <cstdlib>
+#include <random>
+
+int noisy_choice() {
+  std::random_device rd;             // line 6: flagged (random_device)
+  std::mt19937 gen(rd());            // line 7: flagged (mt19937)
+  srand(123);                        // line 8: flagged (srand)
+  return static_cast<int>(gen()) + rand();  // line 9: flagged (rand)
+}

@@ -1,0 +1,5 @@
+// Fixture: no-iostream-in-kernel negative case — stream I/O in a file that
+// is NOT on the hot-file list is outside this rule's scope.
+#include <iostream>
+
+void report(int rounds) { std::cout << rounds << "\n"; }

@@ -1,0 +1,17 @@
+// Fixture: no-raw-parse negative case — parsing routed through util/parse,
+// plus identifiers that merely *contain* rule tokens (histoid, atoi_like)
+// which must not be flagged.
+#include <string_view>
+
+namespace radio {
+template <typename T> class Parsed;
+Parsed<unsigned long long> parse_u64(std::string_view, std::string_view);
+}  // namespace radio
+
+void parse_boundary(std::string_view text) {
+  auto parsed = radio::parse_u64(text, "--trials");
+  (void)parsed;
+}
+
+int histoid = 0;        // contains "stoi" but is one identifier
+void atoi_like_name();  // contains "atoi" but is not a call to atoi

@@ -1,0 +1,12 @@
+// Fixture: no-raw-parse suppressed case — both suppression positions (same
+// line, preceding comment-only line) with justifications; zero findings.
+#include <cstdlib>
+
+int trusted_internal_token(const char* text) {
+  return atoi(text);  // radio-lint: allow(no-raw-parse) -- token was produced by our own serializer, not user input
+}
+
+int golden_file_token(const char* text) {
+  // radio-lint: allow(no-raw-parse) -- legacy golden-file reader, input is repo-committed
+  return atoi(text);
+}

@@ -1,0 +1,20 @@
+// Fixture: no-raw-parse positive case — every raw parsing call below must be
+// flagged. Never compiled; scanned by tests/lint/test_radio_lint.py.
+#include <cstdlib>
+#include <string>
+
+int parse_trials(const char* text) {
+  return atoi(text);  // line 7: flagged
+}
+
+unsigned long long parse_seed(const std::string& text) {
+  return std::stoull(text);  // line 11: flagged
+}
+
+double parse_rate(const char* text) {
+  return strtod(text, nullptr);  // line 15: flagged
+}
+
+int parse_pair(const char* text, int* a, int* b) {
+  return sscanf(text, "%d %d", a, b);  // line 19: flagged
+}

@@ -1,0 +1,27 @@
+// Fixture: rng-stream-discipline negative case — the blessed pattern from
+// src/analysis/trial_runner.hpp: one Rng::for_stream(seed, i) per trial.
+// Also: Rng construction *outside* any parallel region is not this rule's
+// business (no-global-rng covers stdlib generators; project Rng is fine).
+#include <cstdint>
+#include <vector>
+
+namespace radio {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream);
+  std::uint64_t operator()();
+};
+}  // namespace radio
+
+std::vector<std::uint64_t> draw_all(int trials, std::uint64_t seed) {
+  radio::Rng warmup(seed);  // serial context: allowed
+  (void)warmup;
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(trials));
+#pragma omp parallel for schedule(dynamic)
+  for (int i = 0; i < trials; ++i) {
+    radio::Rng rng = radio::Rng::for_stream(seed, static_cast<std::uint64_t>(i));
+    out[static_cast<std::size_t>(i)] = rng();
+  }
+  return out;
+}

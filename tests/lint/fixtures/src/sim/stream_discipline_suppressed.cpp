@@ -1,0 +1,21 @@
+// Fixture: rng-stream-discipline suppressed case.
+#include <cstdint>
+
+namespace radio {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  std::uint64_t operator()();
+};
+}  // namespace radio
+
+std::uint64_t shared_scratch_draw(std::uint64_t seed) {
+  std::uint64_t acc = 0;
+#pragma omp parallel
+  {
+    // radio-lint: allow(rng-stream-discipline) -- thread-private scratch noise, results never leave this block
+    radio::Rng rng(seed);
+    acc += rng() & 1u;
+  }
+  return acc;
+}

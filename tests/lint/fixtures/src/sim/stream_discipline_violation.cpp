@@ -1,0 +1,25 @@
+// Fixture: rng-stream-discipline positive case — Rng constructed inside an
+// OpenMP parallel region without Rng::for_stream. Splitting the seed by
+// arithmetic (seed + i) silently correlates streams and breaks the
+// thread-count-independence contract.
+#include <cstdint>
+#include <vector>
+
+namespace radio {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream);
+  std::uint64_t operator()();
+};
+}  // namespace radio
+
+std::vector<std::uint64_t> draw_all(int trials, std::uint64_t seed) {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(trials));
+#pragma omp parallel for schedule(dynamic)
+  for (int i = 0; i < trials; ++i) {
+    radio::Rng rng(seed + static_cast<std::uint64_t>(i));  // line 21: flagged
+    out[static_cast<std::size_t>(i)] = rng();
+  }
+  return out;
+}

@@ -1,0 +1,11 @@
+// Fixture: tokenizer negative case — rule tokens inside comments and string
+// literals must never be flagged. atoi( srand( std::time( std::cout <<
+#include <string>
+
+// The docs mention atoi(text) and steady_clock::now() as the bad patterns.
+/* Block comment: rand() and random_device and sscanf(buf, "%d") too. */
+const std::string kHelp =
+    "never call atoi(), srand(), or std::time() here; use util/parse";
+const char* kRaw = R"(raw string with strtoull(text) and std::cerr << x)";
+char kQuote = '"';  // a lone quote char must not derail the tokenizer
+const std::string kAfter = "atoi(";  // still inside the scrubbed region

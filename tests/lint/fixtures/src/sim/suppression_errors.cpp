@@ -1,0 +1,14 @@
+// Fixture: suppression-mechanics error cases — a bare allow() without a
+// justification is itself a finding, as are allow() comments that suppress
+// nothing and allow() naming an unknown rule.
+#include <cstdlib>
+
+int bare_allow(const char* text) {
+  return atoi(text);  // radio-lint: allow(no-raw-parse)
+}
+
+// radio-lint: allow(no-global-rng) -- nothing below uses stdlib rng
+int unused_allow = 0;
+
+// radio-lint: allow(definitely-not-a-rule) -- typo in the rule name
+int unknown_rule_allow = 0;

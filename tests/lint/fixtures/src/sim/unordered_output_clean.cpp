@@ -1,0 +1,24 @@
+// Fixture: no-unordered-iteration-to-output negative cases — (a) iterating an
+// unordered container for pure accumulation is fine, (b) the blessed fix:
+// copy to a vector, sort, then stream the vector.
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+int total(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  for (const auto& [key, value] : counts) {
+    sum += value;  // accumulation only: order-insensitive, not flagged
+  }
+  return sum;
+}
+
+void dump_sorted(const std::unordered_map<int, int>& counts, std::ostream& out) {
+  std::vector<std::pair<int, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& [key, value] : rows) {  // vector iteration: deterministic
+    out << key << "," << value << "\n";
+  }
+}

@@ -1,0 +1,10 @@
+// Fixture: no-unordered-iteration-to-output suppressed case.
+#include <ostream>
+#include <unordered_set>
+
+void debug_dump(const std::unordered_set<int>& seen, std::ostream& out) {
+  // radio-lint: allow(no-unordered-iteration-to-output) -- debug-only dump, order explicitly documented as unstable
+  for (int v : seen) {
+    out << v << " ";
+  }
+}

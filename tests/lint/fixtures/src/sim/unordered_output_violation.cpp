@@ -1,0 +1,22 @@
+// Fixture: no-unordered-iteration-to-output positive cases — iteration order
+// of unordered containers is implementation-defined, so streaming it into a
+// table/CSV/ostream makes the artifact nondeterministic across libstdc++
+// versions and hash seeds.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+void dump_counts(const std::unordered_map<int, int>& counts, std::ostream& out) {
+  for (const auto& [key, value] : counts) {  // line 11: flagged
+    out << key << "," << value << "\n";
+  }
+}
+
+void dump_members(std::ostream& out) {
+  std::unordered_set<std::string> members;
+  members.insert("a");
+  for (const auto& name : members) {  // line 19: flagged
+    out << name << "\n";
+  }
+}

@@ -1,0 +1,11 @@
+// Fixture: no-wallclock-in-sim suppressed + token-boundary negative cases.
+#include <chrono>
+#include <cstdint>
+
+// radio-lint: allow(no-wallclock-in-sim) -- coarse deadline for an optional progress meter, never feeds results
+static const auto g_started = std::chrono::steady_clock::now();
+
+// Identifiers that merely contain "time"/"clock" are not wall-clock reads:
+std::uint64_t wall_time_rounds = 0;
+std::uint64_t clock_skew_model(std::uint64_t t) { return t; }
+void runtime_config();

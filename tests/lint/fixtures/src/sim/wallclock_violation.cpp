@@ -1,0 +1,12 @@
+// Fixture: no-wallclock-in-sim positive case — wall-clock reads inside
+// simulation code make runs irreproducible and hide perf regressions.
+#include <chrono>
+#include <ctime>
+
+double round_duration_guess() {
+  const auto start = std::chrono::steady_clock::now();  // line 7: flagged
+  const auto wall = std::time(nullptr);                 // line 8: flagged
+  const auto stop = std::chrono::high_resolution_clock::now();  // line 9: flagged
+  (void)wall;
+  return std::chrono::duration<double>(stop - start).count();
+}

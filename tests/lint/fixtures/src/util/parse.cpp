@@ -1,0 +1,8 @@
+// Fixture: no-raw-parse allowlist case — this path (src/util/parse.cpp) is
+// the strict boundary itself and may use the raw primitives freely.
+#include <cstdlib>
+
+unsigned long long impl_parse(const char* text) {
+  char* end = nullptr;
+  return strtoull(text, &end, 10);
+}

@@ -1,0 +1,12 @@
+// Fixture: no-global-rng allowlist case — src/util/rng.cpp is the one place
+// allowed to reference stdlib generators (e.g. for seeding comparisons).
+#include <random>
+
+unsigned long long stdlib_reference_draw() {
+  std::mt19937_64 gen(42);
+  return gen();
+}
+
+// Identifiers that merely contain "rand" must never be flagged anywhere:
+int random_graph_edge_count = 0;
+int randomized_rounds = 0;

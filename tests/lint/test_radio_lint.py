@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Unit suite for scripts/radio_lint.py.
+
+Every rule gets a positive fixture (each seeded violation is caught by its
+rule at the expected line), a negative fixture (zero findings), and a
+suppressed fixture (justified allow() silences the finding). Suppression
+mechanics (missing justification, unused allow, unknown rule) are covered in
+suppression_errors.cpp. Run directly or via ctest target lint.rule_suite.
+"""
+
+import os
+import sys
+import unittest
+
+THIS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(THIS_DIR))
+FIXTURE_ROOT = os.path.join(THIS_DIR, "fixtures")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
+import radio_lint  # noqa: E402
+
+
+def scan(rel_path):
+    sf = radio_lint.load_source(rel_path, FIXTURE_ROOT)
+    return radio_lint.scan_file(sf)
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class NoRawParse(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/raw_parse_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_NO_RAW_PARSE)
+        self.assertEqual([f.line for f in hits], [7, 11, 15, 19])
+        self.assertIn("'atoi'", hits[0].message)
+        self.assertIn("'stoull'", hits[1].message)
+        self.assertIn("'strtod'", hits[2].message)
+        self.assertIn("'sscanf'", hits[3].message)
+
+    def test_negative(self):
+        self.assertEqual(scan("src/sim/raw_parse_clean.cpp"), [])
+
+    def test_suppressed(self):
+        self.assertEqual(scan("src/sim/raw_parse_suppressed.cpp"), [])
+
+    def test_util_parse_is_allowlisted(self):
+        self.assertEqual(scan("src/util/parse.cpp"), [])
+
+
+class NoGlobalRng(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/global_rng_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_NO_GLOBAL_RNG)
+        self.assertEqual([f.line for f in hits], [6, 7, 8, 9])
+
+    def test_util_rng_is_allowlisted(self):
+        self.assertEqual(scan("src/util/rng.cpp"), [])
+
+    def test_suppressed(self):
+        self.assertEqual(scan("src/sim/global_rng_suppressed.cpp"), [])
+
+
+class RngStreamDiscipline(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/stream_discipline_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_RNG_STREAM)
+        self.assertEqual([f.line for f in hits], [21])
+        self.assertIn("for_stream", hits[0].message)
+
+    def test_negative(self):
+        self.assertEqual(scan("src/sim/stream_discipline_clean.cpp"), [])
+
+    def test_suppressed(self):
+        self.assertEqual(scan("src/sim/stream_discipline_suppressed.cpp"), [])
+
+    def test_real_trial_runner_is_clean(self):
+        sf = radio_lint.load_source("src/analysis/trial_runner.hpp", REPO_ROOT)
+        self.assertEqual(radio_lint.scan_file(sf), [])
+
+
+class NoWallclockInSim(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/wallclock_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_NO_WALLCLOCK)
+        self.assertEqual([f.line for f in hits], [7, 8, 9])
+
+    def test_bench_is_allowlisted(self):
+        self.assertEqual(scan("bench/wallclock_clean.cpp"), [])
+
+    def test_suppressed_and_token_boundaries(self):
+        self.assertEqual(scan("src/sim/wallclock_suppressed.cpp"), [])
+
+    def test_real_bench_runner_is_allowlisted(self):
+        sf = radio_lint.load_source("src/analysis/bench_runner.cpp", REPO_ROOT)
+        self.assertEqual(
+            by_rule(radio_lint.scan_file(sf), radio_lint.RULE_NO_WALLCLOCK), [])
+
+
+class NoIostreamInKernel(unittest.TestCase):
+    def test_positive_and_suppressed(self):
+        findings = scan("src/sim/channel_kernel.cpp")
+        hits = by_rule(findings, radio_lint.RULE_NO_IOSTREAM)
+        self.assertEqual([f.line for f in hits], [3, 4, 7, 8])
+
+    def test_clean_kernel_file(self):
+        self.assertEqual(scan("src/graph/bfs.hpp"), [])
+
+    def test_non_kernel_file_out_of_scope(self):
+        self.assertEqual(scan("src/sim/iostream_elsewhere_clean.cpp"), [])
+
+
+class NoUnorderedIterationToOutput(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/unordered_output_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_NO_UNORDERED_OUT)
+        self.assertEqual([f.line for f in hits], [11, 19])
+
+    def test_negative(self):
+        self.assertEqual(scan("src/sim/unordered_output_clean.cpp"), [])
+
+    def test_suppressed(self):
+        self.assertEqual(scan("src/sim/unordered_output_suppressed.cpp"), [])
+
+
+class SuppressionMechanics(unittest.TestCase):
+    def test_errors(self):
+        findings = scan("src/sim/suppression_errors.cpp")
+        rules = sorted(f.rule for f in findings)
+        self.assertEqual(
+            rules, ["no-raw-parse", "unknown-rule", "unused-suppression"])
+        missing = by_rule(findings, "no-raw-parse")[0]
+        self.assertIn("missing a justification", missing.message)
+
+
+class Tokenizer(unittest.TestCase):
+    def test_strings_and_comments_never_flag(self):
+        self.assertEqual(scan("src/sim/strings_and_comments_clean.cpp"), [])
+
+    def test_scrub_preserves_line_count(self):
+        text = 'int a; /* multi\nline */ const char* s = "x\\"y";\n// tail\n'
+        self.assertEqual(radio_lint.scrub_source(text).count("\n"),
+                         text.count("\n"))
+
+
+class EndToEnd(unittest.TestCase):
+    def test_cli_over_fixture_tree_reports_all_violations(self):
+        import contextlib
+        import io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = radio_lint.main(["--root", FIXTURE_ROOT, "src", "bench"])
+        self.assertEqual(code, 1)
+        lines = [l for l in out.getvalue().splitlines() if l]
+        # 4 raw-parse + 4 global-rng + 1 stream + 3 wallclock + 4 iostream
+        # + 2 unordered + 3 suppression-mechanics findings
+        self.assertEqual(len(lines), 21)
+        for line in lines:
+            self.assertRegex(line, r"^[^:]+:\d+: radio-lint\([a-z-]+\): ")
+
+    def test_cli_on_real_tree_is_clean(self):
+        import contextlib
+        import io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = radio_lint.main(["--root", REPO_ROOT, "src", "bench"])
+        self.assertEqual(code, 0, out.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

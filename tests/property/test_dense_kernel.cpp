@@ -99,9 +99,9 @@ INSTANTIATE_TEST_SUITE_P(Densities, DenseKernelEquivalence,
                                            DensityCase{0.1, 10},
                                            DensityCase{0.5, 10},
                                            DensityCase{0.9, 10}),
-                         [](const ::testing::TestParamInfo<DensityCase>& info) {
+                         [](const ::testing::TestParamInfo<DensityCase>& pinfo) {
                            return "p" + std::to_string(static_cast<int>(
-                                            info.param.p * 100));
+                                            pinfo.param.p * 100));
                          });
 
 TEST(DenseKernel, FullBroadcastIdenticalOnBothPaths) {

@@ -91,9 +91,9 @@ INSTANTIATE_TEST_SUITE_P(
                       Scenario{100, 0.05, 0.9, 0.9}, Scenario{250, 0.02, 0.5, 0.02},
                       Scenario{250, 0.3, 0.1, 0.5}, Scenario{60, 0.9, 0.5, 0.5},
                       Scenario{40, 0.1, 0.0, 0.4}, Scenario{40, 0.1, 1.0, 0.05}),
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      return "n" + std::to_string(info.param.n) + "_case" +
-             std::to_string(info.index);
+    [](const ::testing::TestParamInfo<Scenario>& pinfo) {
+      return "n" + std::to_string(pinfo.param.n) + "_case" +
+             std::to_string(pinfo.index);
     });
 
 }  // namespace

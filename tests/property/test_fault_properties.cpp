@@ -98,8 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultScenario{100, 0.1, 0.0, 0.3},
                       FaultScenario{200, 0.05, 0.3, 0.3},
                       FaultScenario{60, 0.4, 0.1, 0.1}),
-    [](const ::testing::TestParamInfo<FaultScenario>& info) {
-      return "case" + std::to_string(info.index);
+    [](const ::testing::TestParamInfo<FaultScenario>& pinfo) {
+      return "case" + std::to_string(pinfo.index);
     });
 
 }  // namespace

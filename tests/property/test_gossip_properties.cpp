@@ -98,9 +98,9 @@ INSTANTIATE_TEST_SUITE_P(
                       GossipScenario{100, 0.08, 0.5},
                       GossipScenario{200, 0.04, 0.05},
                       GossipScenario{60, 0.5, 0.3}),
-    [](const ::testing::TestParamInfo<GossipScenario>& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_case" +
-             std::to_string(info.index);
+    [](const ::testing::TestParamInfo<GossipScenario>& pinfo) {
+      return "n" + std::to_string(std::get<0>(pinfo.param)) + "_case" +
+             std::to_string(pinfo.index);
     });
 
 }  // namespace

@@ -75,10 +75,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<NodeId>(256, 512),
                        ::testing::Values(18.0, 48.0),
                        ::testing::Values(0, 1)),
-    [](const ::testing::TestParamInfo<PipelineScenario>& info) {
-      return std::string(std::get<2>(info.param) == 0 ? "thm5" : "tree") +
-             "_n" + std::to_string(std::get<0>(info.param)) + "_d" +
-             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    [](const ::testing::TestParamInfo<PipelineScenario>& pinfo) {
+      return std::string(std::get<2>(pinfo.param) == 0 ? "thm5" : "tree") +
+             "_n" + std::to_string(std::get<0>(pinfo.param)) + "_d" +
+             std::to_string(static_cast<int>(std::get<1>(pinfo.param)));
     });
 
 }  // namespace
