@@ -11,11 +11,20 @@ DIR (schema: DESIGN.md "Observability & provenance") and either
     (``--bench-json PATH``): per-experiment wall-clock and row counts plus
     shared provenance, the repo's perf record future PRs regress against.
 
+With ``--batch-sweep SWEEP_JSON`` the trajectory entry additionally records
+the sim/batch throughput table: SWEEP_JSON is the output of
+
+  bench/bench_batch_sweep --benchmark_format=json --benchmark_out=SWEEP_JSON
+
+and the entry gains a ``batch_sweep`` list of {n, lanes, trials/sec both
+ways, speedup} rows — the instance-parallel core's perf record.
+
 Standard library only; no third-party imports.
 
 Usage:
   python3 scripts/bench_report.py --check OUT_DIR
-  python3 scripts/bench_report.py OUT_DIR --bench-json BENCH_run.json
+  python3 scripts/bench_report.py OUT_DIR --bench-json BENCH_run.json \
+      [--batch-sweep sweep.json]
 """
 
 from __future__ import annotations
@@ -117,6 +126,44 @@ def trajectory_entry(manifests: dict[str, dict]) -> dict:
     return entry
 
 
+def batch_sweep_rows(sweep_json: pathlib.Path) -> list[dict]:
+    """Pairs BM_BatchSweep/{n}/{lanes} with its BM_PerInstanceSweep/{n}
+    baseline from a google-benchmark JSON dump and reports trials/sec and
+    the batched-over-per-instance speedup per configuration."""
+    try:
+        doc = json.loads(sweep_json.read_text())
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"error: {sweep_json} is not valid JSON: {err}")
+    per_instance: dict[int, float] = {}
+    batched: dict[tuple[int, int], float] = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        rate = bench.get("trials_per_s")
+        if not isinstance(rate, (int, float)):
+            continue
+        parts = name.split("/")
+        if parts[0] == "BM_PerInstanceSweep" and len(parts) == 2:
+            per_instance[int(parts[1])] = float(rate)
+        elif parts[0] == "BM_BatchSweep" and len(parts) == 3:
+            batched[(int(parts[1]), int(parts[2]))] = float(rate)
+    rows = [
+        {
+            "n": n,
+            "lanes": lanes,
+            "per_instance_trials_per_s": round(per_instance[n], 2),
+            "batched_trials_per_s": round(rate, 2),
+            "speedup": round(rate / per_instance[n], 2),
+        }
+        for (n, lanes), rate in sorted(batched.items())
+        if n in per_instance and per_instance[n] > 0
+    ]
+    if not rows:
+        raise SystemExit(
+            f"error: {sweep_json} has no pairable BM_BatchSweep /"
+            " BM_PerInstanceSweep entries")
+    return rows
+
+
 def append_entry(bench_json: pathlib.Path, entry: dict) -> None:
     if bench_json.exists():
         history = json.loads(bench_json.read_text())
@@ -139,6 +186,9 @@ def main(argv: list[str]) -> int:
                         help="validate manifests (all 15 ids) and exit")
     parser.add_argument("--bench-json", type=pathlib.Path,
                         help="append a trajectory entry to this file")
+    parser.add_argument("--batch-sweep", type=pathlib.Path,
+                        help="bench_batch_sweep --benchmark_format=json "
+                             "output to fold into the entry")
     args = parser.parse_args(argv)
 
     if not args.out_dir.is_dir():
@@ -150,7 +200,10 @@ def main(argv: list[str]) -> int:
         return 0
     if args.bench_json is None:
         raise SystemExit("error: pass --check or --bench-json PATH")
-    append_entry(args.bench_json, trajectory_entry(manifests))
+    entry = trajectory_entry(manifests)
+    if args.batch_sweep is not None:
+        entry["batch_sweep"] = batch_sweep_rows(args.batch_sweep)
+    append_entry(args.bench_json, entry)
     return 0
 
 

@@ -106,6 +106,10 @@ WALLCLOCK_RE = re.compile(
 KERNEL_FILES = (
     "src/sim/channel_kernel.cpp",
     "src/sim/channel_kernel.hpp",
+    "src/sim/batch/batch_engine.cpp",
+    "src/sim/batch/batch_engine.hpp",
+    "src/sim/batch/batch_scheduler.cpp",
+    "src/sim/batch/batch_scheduler.hpp",
     "src/graph/bfs.cpp",
     "src/graph/bfs.hpp",
 )

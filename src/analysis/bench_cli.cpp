@@ -83,6 +83,10 @@ BenchCommand parse_bench_command(const std::vector<std::string>& args) {
       command.full = true;
     } else if (arg == "--quick") {
       command.full = false;
+    } else if (matches_flag(arg, "--batch")) {
+      const std::string value = flag_value("--batch", arg, args, i);
+      command.batch = static_cast<int>(
+          parse_int(value, "--batch", 1, 4096).value_or_throw());
     } else if (matches_flag(arg, "--out")) {
       command.out_dir = flag_value("--out", arg, args, i);
       if (command.out_dir.empty()) usage_error("--out requires a directory");
@@ -111,6 +115,7 @@ ExperimentConfig config_for_run(const BenchCommand& command,
   if (command.trials) config.trials = *command.trials;
   if (command.seed) config.seed = *command.seed;
   if (command.full) config.quick = !*command.full;
+  if (command.batch) config.batch = *command.batch;
   if (!command.csv_dir.empty())
     config.csv_path = command.csv_dir + "/" + lower + ".csv";
   else if (!command.out_dir.empty())
@@ -132,6 +137,9 @@ std::string bench_usage() {
       "  --seed S       base RNG seed                      (RADIO_SEED, 42)\n"
       "  --full         large n grids                      (RADIO_FULL=1)\n"
       "  --quick        small n grids (default)\n"
+      "  --batch B      sim/batch lane width, 1–4096       (RADIO_BATCH, 1)\n"
+      "                 shared-instance probes advance B instances per\n"
+      "                 sweep; results are byte-identical for any B\n"
       "  --out DIR      write CSVs, per-experiment manifests (<id>.manifest\n"
       "                 .json) and a metrics.jsonl stream into DIR\n"
       "  --csv DIR      write CSVs only, legacy RADIO_CSV_DIR layout\n"

@@ -29,7 +29,8 @@ struct BenchCommand {
   // CLI overrides; unset fields fall through to RADIO_* env vars / defaults.
   std::optional<int> trials;
   std::optional<std::uint64_t> seed;
-  std::optional<bool> full;  ///< --full → true, --quick → false
+  std::optional<bool> full;   ///< --full → true, --quick → false
+  std::optional<int> batch;   ///< --batch: sim/batch lane width (1–4096)
 
   std::string out_dir;  ///< --out: CSVs + manifests + metrics.jsonl here
   std::string csv_dir;  ///< --csv: CSVs only (legacy RADIO_CSV_DIR shape)

@@ -59,6 +59,7 @@ Json config_json(const ExperimentConfig& config) {
   obj.set("trials", config.trials);
   obj.set("seed", config.seed);
   obj.set("quick", config.quick);
+  obj.set("batch", config.batch);
   obj.set("csv_path", config.csv_path);
   return obj;
 }

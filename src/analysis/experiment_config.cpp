@@ -24,6 +24,9 @@ ExperimentConfig ExperimentConfig::from_environment(
     config.quick =
         *full == '\0' || !parse_bool(full, "RADIO_FULL").value_or_throw();
   }
+  if (const char* batch = std::getenv("RADIO_BATCH"))
+    config.batch = static_cast<int>(
+        parse_int(batch, "RADIO_BATCH", 1, 4096).value_or_throw());
   if (const char* dir = std::getenv("RADIO_CSV_DIR"))
     config.csv_path = std::string(dir) + "/" + experiment_id + ".csv";
   return config;

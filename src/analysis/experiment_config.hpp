@@ -17,8 +17,15 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;    ///< base seed; trial i uses stream (seed, i)
   bool quick = true;          ///< quick: smaller n grid for CI-speed runs
   std::string csv_path;       ///< when non-empty, the table is mirrored here
+  /// Lane width for the batched simulation core (sim/batch): experiments
+  /// whose inner probes share a graph instance (e.g. E7's schedule searches)
+  /// advance this many instances per kernel sweep. 1 = classic per-instance
+  /// engine. Results are byte-identical for any value — batch changes wall
+  /// time, never data (the sim/batch determinism contract).
+  int batch = 1;
 
-  /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR from the
+  /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR /
+  /// RADIO_BATCH from the
   /// environment so bench binaries can be scaled up without rebuilds.
   /// `radio_bench` layers its CLI flags on top of this (bench_cli.hpp).
   /// Malformed values throw std::runtime_error naming the variable and the

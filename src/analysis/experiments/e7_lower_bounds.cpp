@@ -46,6 +46,7 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
       search.round_budget = static_cast<std::uint32_t>(10.0 * ln_n);
       search.num_candidates = config.quick ? 24 : 96;
       search.trials_per_candidate = 2;
+      search.batch_lanes = static_cast<std::uint32_t>(config.batch);
 
       struct Trial {
         double best = 0;
@@ -115,6 +116,7 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
       SmallSetAdversaryParams tight;
       tight.round_budget = static_cast<std::uint32_t>(ln_n);
       tight.num_schedules = config.quick ? 128 : 512;
+      tight.batch_lanes = static_cast<std::uint32_t>(config.batch);
       // Generous budget to locate the true completion scale (~log2 n).
       SmallSetAdversaryParams loose = tight;
       loose.round_budget = static_cast<std::uint32_t>(10.0 * ln_n);

@@ -40,7 +40,7 @@ double ElsasserGasieniecBroadcast::transmit_probability(
 }
 
 void ElsasserGasieniecBroadcast::select_transmitters(
-    std::uint32_t round, const BroadcastSession& session, Rng& rng,
+    std::uint32_t round, const SessionView& session, Rng& rng,
     std::vector<NodeId>& out) {
   const double prob = transmit_probability(round);
   const bool tail = round > switch_round_;

@@ -43,7 +43,7 @@ class ElsasserGasieniecBroadcast final : public Protocol {
 
   void reset(const ProtocolContext& ctx) override;
 
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng& rng, std::vector<NodeId>& out) override;
 
   /// The phase-switch round D computed from (n, p); exposed for tests.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "graph/bfs.hpp"
+#include "sim/batch/batch_runner.hpp"
 #include "sim/runner.hpp"
 #include "sim/session.hpp"
 #include "util/assert.hpp"
@@ -18,7 +20,7 @@ ObliviousSequenceProtocol::ObliviousSequenceProtocol(
 }
 
 void ObliviousSequenceProtocol::select_transmitters(
-    std::uint32_t round, const BroadcastSession& session, Rng& rng,
+    std::uint32_t round, const SessionView& session, Rng& rng,
     std::vector<NodeId>& out) {
   const double q = round <= probabilities_.size()
                        ? probabilities_[round - 1]
@@ -81,17 +83,30 @@ ObliviousSearchOutcome search_oblivious_schedules(
   while (candidates.size() < static_cast<std::size_t>(params.num_candidates))
     candidates.push_back(random_sequence(ctx.n, params.round_budget, rng));
 
+  // Every (candidate, trial) probe is an independent broadcast on the SAME
+  // graph — exactly the shape the batched core amortizes. Probe u gets its
+  // own stream for_stream(probe_seed, u), so results are byte-identical
+  // whether the probes run one per engine or batch_lanes at a time.
+  const std::uint64_t probe_seed = rng();
+  const int tpc = params.trials_per_candidate;
+  const int units = static_cast<int>(candidates.size()) * tpc;
+  const ProtocolFactory factory = [&candidates, tpc](int unit) {
+    return std::make_unique<ObliviousSequenceProtocol>(
+        candidates[static_cast<std::size_t>(unit / tpc)]);
+  };
+  const std::vector<BroadcastRun> runs =
+      run_broadcast_batch(g, ctx, source, units, probe_seed, 0, factory,
+                          params.round_budget, params.batch_lanes);
+
   ObliviousSearchOutcome outcome;
   outcome.best_rounds = params.round_budget + 1;
   int completed = 0;
   for (std::size_t c = 0; c < candidates.size(); ++c) {
     std::uint32_t worst_trial = 0;
     bool all_completed = true;
-    for (int trial = 0; trial < params.trials_per_candidate; ++trial) {
-      ObliviousSequenceProtocol protocol(candidates[c]);
-      Rng trial_rng = Rng::for_stream(rng(), static_cast<std::uint64_t>(trial));
-      const BroadcastRun run = broadcast_with(protocol, ctx, g, source,
-                                              trial_rng, params.round_budget);
+    for (int trial = 0; trial < tpc; ++trial) {
+      const BroadcastRun& run = runs[c * static_cast<std::size_t>(tpc) +
+                                     static_cast<std::size_t>(trial)];
       if (!run.completed) {
         all_completed = false;
         break;
@@ -111,6 +126,31 @@ ObliviousSearchOutcome search_oblivious_schedules(
   return outcome;
 }
 
+SmallSetScheduleProtocol::SmallSetScheduleProtocol(NodeId max_set_size)
+    : max_set_size_(max_set_size) {
+  RADIO_EXPECTS(max_set_size >= 1);
+}
+
+void SmallSetScheduleProtocol::select_transmitters(std::uint32_t,
+                                                   const SessionView& session,
+                                                   Rng& rng,
+                                                   std::vector<NodeId>& out) {
+  pool_.clear();
+  // informed_nodes()-style collection without allocating per round.
+  for (NodeId v = 0; v < session.graph().num_nodes(); ++v)
+    if (session.informed(v)) pool_.push_back(v);
+  const NodeId size = static_cast<NodeId>(
+      1 +
+      rng.uniform_below(std::min<std::uint64_t>(max_set_size_, pool_.size())));
+  // Uniform distinct picks via partial shuffle of the pool tail.
+  for (NodeId k = 0; k < size; ++k) {
+    const std::size_t j =
+        k + static_cast<std::size_t>(rng.uniform_below(pool_.size() - k));
+    std::swap(pool_[k], pool_[j]);
+    out.push_back(pool_[k]);
+  }
+}
+
 SmallSetAdversaryOutcome probe_small_set_schedules(
     const Graph& g, NodeId source, const SmallSetAdversaryParams& params,
     Rng& rng) {
@@ -118,42 +158,28 @@ SmallSetAdversaryOutcome probe_small_set_schedules(
   RADIO_EXPECTS(params.num_schedules >= 1);
   RADIO_EXPECTS(params.max_set_size >= 1);
 
+  // Schedule s draws from its own stream for_stream(probe_seed, s): the
+  // sampled schedules are identical whether they run per-instance or
+  // batch_lanes at a time on the shared graph.
+  const std::uint64_t probe_seed = rng();
+  const ProtocolContext ctx{g.num_nodes(), 0.5};  // p unused by the adversary
+  const ProtocolFactory factory = [&params](int) {
+    return std::make_unique<SmallSetScheduleProtocol>(params.max_set_size);
+  };
+  const std::vector<BroadcastRun> runs =
+      run_broadcast_batch(g, ctx, source, params.num_schedules, probe_seed, 0,
+                          factory, params.round_budget, params.batch_lanes);
+
   SmallSetAdversaryOutcome outcome;
   outcome.best_rounds = params.round_budget + 1;
   int completed = 0;
   std::uint64_t uninformed_sum = 0;
-  std::vector<NodeId> informed_pool;
-  std::vector<NodeId> transmitters;
-
-  for (int s = 0; s < params.num_schedules; ++s) {
-    BroadcastSession session(g, source);
-    std::uint32_t rounds = 0;
-    for (std::uint32_t t = 1; t <= params.round_budget; ++t) {
-      if (session.complete()) break;
-      informed_pool.clear();
-      // informed_nodes() allocates; reuse the pool buffer instead.
-      for (NodeId v = 0; v < g.num_nodes(); ++v)
-        if (session.informed(v)) informed_pool.push_back(v);
-      const NodeId size = static_cast<NodeId>(
-          1 + rng.uniform_below(std::min<std::uint64_t>(
-                  params.max_set_size, informed_pool.size())));
-      transmitters.clear();
-      // Uniform distinct picks via partial shuffle of the pool tail.
-      for (NodeId k = 0; k < size; ++k) {
-        const std::size_t j =
-            k + static_cast<std::size_t>(
-                    rng.uniform_below(informed_pool.size() - k));
-        std::swap(informed_pool[k], informed_pool[j]);
-        transmitters.push_back(informed_pool[k]);
-      }
-      session.step(transmitters);
-      ++rounds;
-    }
-    if (session.complete()) {
+  for (const BroadcastRun& run : runs) {
+    if (run.completed) {
       ++completed;
-      outcome.best_rounds = std::min(outcome.best_rounds, rounds);
+      outcome.best_rounds = std::min(outcome.best_rounds, run.rounds);
     }
-    uninformed_sum += g.num_nodes() - session.informed_count();
+    uninformed_sum += g.num_nodes() - run.informed;
   }
   outcome.completed_fraction = static_cast<double>(completed) /
                                static_cast<double>(params.num_schedules);

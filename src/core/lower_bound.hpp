@@ -38,7 +38,7 @@ class ObliviousSequenceProtocol final : public Protocol {
   std::string name() const override { return "oblivious-sequence"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext&) override {}
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng& rng, std::vector<NodeId>& out) override;
 
  private:
@@ -49,6 +49,11 @@ struct ObliviousSearchParams {
   std::uint32_t round_budget = 0;  ///< rounds each candidate may use
   int num_candidates = 64;         ///< random sequences sampled
   int trials_per_candidate = 3;    ///< completion must hold on every trial
+  /// Lane width for the batched simulation core (sim/batch): every
+  /// (candidate, trial) probe runs on the SAME graph, so probes advance
+  /// `batch_lanes` at a time per kernel sweep. 1 = per-instance engine.
+  /// Results are byte-identical for any value (see batch_scheduler.hpp).
+  std::uint32_t batch_lanes = 1;
 };
 
 struct ObliviousSearchOutcome {
@@ -76,6 +81,8 @@ struct SmallSetAdversaryParams {
   std::uint32_t round_budget = 0;  ///< c·ln n rounds available
   int num_schedules = 256;         ///< random schedules sampled
   NodeId max_set_size = 2;         ///< the proof's reduction: 1- or 2-sets
+  /// Lane width for the batched simulation core (see ObliviousSearchParams).
+  std::uint32_t batch_lanes = 1;
 };
 
 struct SmallSetAdversaryOutcome {
@@ -84,9 +91,27 @@ struct SmallSetAdversaryOutcome {
   double mean_uninformed_left = 0.0; ///< avg uninformed after the budget
 };
 
-/// Random schedules whose round-t transmitter set is a uniformly random
-/// subset of the currently informed nodes of size 1…max_set_size (Theorem
-/// 6's canonical form after its reduction steps).
+/// One random small-set schedule as a Protocol: round t transmits a
+/// uniformly random subset of the currently informed nodes of size
+/// 1…max_set_size (Theorem 6's canonical form after its reduction steps).
+/// Centralized by construction — it reads the global informed set.
+class SmallSetScheduleProtocol final : public Protocol {
+ public:
+  explicit SmallSetScheduleProtocol(NodeId max_set_size);
+
+  std::string name() const override { return "small-set-adversary"; }
+  bool is_distributed() const override { return false; }
+  void reset(const ProtocolContext&) override {}
+  void select_transmitters(std::uint32_t round, const SessionView& session,
+                           Rng& rng, std::vector<NodeId>& out) override;
+
+ private:
+  NodeId max_set_size_;
+  std::vector<NodeId> pool_;
+};
+
+/// Random schedules drawn via SmallSetScheduleProtocol, one RNG stream per
+/// schedule so the probes batch across lanes (params.batch_lanes).
 SmallSetAdversaryOutcome probe_small_set_schedules(
     const Graph& g, NodeId source, const SmallSetAdversaryParams& params,
     Rng& rng);

@@ -3,7 +3,7 @@
 namespace radio {
 
 void ScheduledProtocol::select_transmitters(std::uint32_t round,
-                                            const BroadcastSession&, Rng&,
+                                            const SessionView&, Rng&,
                                             std::vector<NodeId>& out) {
   if (round == 0 || round > schedule_.rounds.size()) return;  // silence past the end
   const auto& transmitters = schedule_.rounds[round - 1];

@@ -22,7 +22,7 @@ class ScheduledProtocol final : public Protocol {
 
   void reset(const ProtocolContext&) override {}
 
-  void select_transmitters(std::uint32_t round, const BroadcastSession&,
+  void select_transmitters(std::uint32_t round, const SessionView&,
                            Rng&, std::vector<NodeId>& out) override;
 
   const Schedule& schedule() const noexcept { return schedule_; }

@@ -31,7 +31,7 @@ double AdaptiveBackoffProtocol::gate(std::uint32_t round) const noexcept {
 }
 
 void AdaptiveBackoffProtocol::select_transmitters(
-    std::uint32_t round, const BroadcastSession& session, Rng& rng,
+    std::uint32_t round, const SessionView& session, Rng& rng,
     std::vector<NodeId>& out) {
   RADIO_EXPECTS(q_.size() == session.graph().num_nodes());
   const double g = gate(round);

@@ -61,7 +61,7 @@ class AdaptiveBackoffProtocol final : public Protocol {
   bool wants_observations() const override { return true; }
 
   void reset(const ProtocolContext& ctx) override;
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng& rng, std::vector<NodeId>& out) override;
   void observe(std::uint32_t round,
                std::span<const ChannelObservation> observations) override;

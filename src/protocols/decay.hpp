@@ -22,14 +22,21 @@ class DecayProtocol final : public Protocol {
   std::string name() const override { return "decay[BGI]"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext& ctx) override;
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng& rng, std::vector<NodeId>& out) override;
 
   std::uint32_t phase_length() const noexcept { return phase_length_; }
 
  private:
   std::uint32_t phase_length_ = 1;
-  std::vector<std::uint8_t> active_;
+  NodeId nodes_ = 0;
+  /// Ascending ids of this phase's surviving active nodes. Kept as a compact
+  /// list (not a per-node flag array) so a round costs O(|active|), not
+  /// O(n): the batch core runs one select per lane per round, where the
+  /// full-scan version dominated the whole sweep. The iteration order — and
+  /// with it every Bernoulli draw — is identical to the per-node scan, so
+  /// results are bit-for-bit unchanged.
+  std::vector<NodeId> active_;
 };
 
 }  // namespace radio

@@ -3,7 +3,7 @@
 namespace radio {
 
 void FloodingProtocol::select_transmitters(std::uint32_t,
-                                           const BroadcastSession& session,
+                                           const SessionView& session,
                                            Rng&, std::vector<NodeId>& out) {
   for (NodeId v = 0; v < session.graph().num_nodes(); ++v)
     if (session.informed(v)) out.push_back(v);

@@ -16,7 +16,7 @@ class FloodingProtocol final : public Protocol {
   std::string name() const override { return "flooding"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext&) override {}
-  void select_transmitters(std::uint32_t, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t, const SessionView& session,
                            Rng&, std::vector<NodeId>& out) override;
 };
 

@@ -5,7 +5,7 @@
 namespace radio {
 
 void RoundRobinProtocol::select_transmitters(std::uint32_t round,
-                                             const BroadcastSession& session,
+                                             const SessionView& session,
                                              Rng&, std::vector<NodeId>& out) {
   RADIO_EXPECTS(n_ == session.graph().num_nodes());
   const NodeId v = static_cast<NodeId>((round - 1) % n_);

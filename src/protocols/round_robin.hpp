@@ -15,7 +15,7 @@ class RoundRobinProtocol final : public Protocol {
   std::string name() const override { return "round-robin"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext& ctx) override { n_ = ctx.n; }
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng&, std::vector<NodeId>& out) override;
 
  private:

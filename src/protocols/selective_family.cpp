@@ -42,7 +42,7 @@ void SelectiveFamilyProtocol::reset(const ProtocolContext& ctx) {
 }
 
 void SelectiveFamilyProtocol::select_transmitters(
-    std::uint32_t round, const BroadcastSession& session, Rng&,
+    std::uint32_t round, const SessionView& session, Rng&,
     std::vector<NodeId>& out) {
   RADIO_EXPECTS(!family_.rounds.empty());
   const ModularFamily::Round& r =

@@ -48,7 +48,7 @@ class SelectiveFamilyProtocol final : public Protocol {
   std::string name() const override { return "selective-family"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext& ctx) override;
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng&, std::vector<NodeId>& out) override;
 
   std::size_t cycle_length() const noexcept { return family_.rounds.size(); }

@@ -17,7 +17,7 @@ class UniformGossipProtocol final : public Protocol {
   std::string name() const override { return "uniform-gossip"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext& ctx) override;
-  void select_transmitters(std::uint32_t round, const BroadcastSession& session,
+  void select_transmitters(std::uint32_t round, const SessionView& session,
                            Rng& rng, std::vector<NodeId>& out) override;
 
   double probability() const noexcept { return q_; }

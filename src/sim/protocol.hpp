@@ -14,6 +14,7 @@
 
 #include "graph/types.hpp"
 #include "sim/session.hpp"
+#include "sim/session_view.hpp"
 #include "util/rng.hpp"
 
 namespace radio {
@@ -39,9 +40,11 @@ class Protocol {
   virtual void reset(const ProtocolContext& ctx) = 0;
 
   /// Appends this round's transmitters to `out` (cleared by the caller).
-  /// `round` is 1-based and equals session.current_round() + 1.
+  /// `round` is 1-based and equals session.current_round() + 1. The view is
+  /// the per-node knowledge surface; BroadcastSession converts implicitly,
+  /// and the batch core (sim/batch) builds one per lane per round.
   virtual void select_transmitters(std::uint32_t round,
-                                   const BroadcastSession& session, Rng& rng,
+                                   const SessionView& session, Rng& rng,
                                    std::vector<NodeId>& out) = 0;
 
   /// Collision-detection MODEL EXTENSION (off in the paper's model): a

@@ -1,8 +1,13 @@
 #include "sim/session.hpp"
 
+#include "sim/session_view.hpp"
 #include "util/assert.hpp"
 
 namespace radio {
+
+SessionView::SessionView(const BroadcastSession& session) noexcept
+    : SessionView(session.graph(), session.informed_set(),
+                  session.informed_rounds(), session.informed_count()) {}
 namespace {
 
 NodeId first_source(std::span<const NodeId> sources) {

@@ -50,6 +50,11 @@ class BroadcastSession {
     return informed_round_[v];
   }
 
+  /// The whole informed-round array (SessionView's backing span).
+  std::span<const std::uint32_t> informed_rounds() const noexcept {
+    return informed_round_;
+  }
+
   std::size_t informed_count() const noexcept { return informed_count_; }
 
   /// Number of nodes that can still participate (n minus crashes).

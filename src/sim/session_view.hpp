@@ -1,0 +1,58 @@
+// Read-only view of one broadcast's per-node knowledge state — the exact
+// surface a Protocol may consult when selecting transmitters.
+//
+// Protocols used to take `const BroadcastSession&`; narrowing the parameter
+// to this view is what lets the batched simulation core (sim/batch) drive
+// the SAME protocol implementations lane by lane without materializing a
+// full session per lane. The view is a fat pointer (graph + informed set +
+// informed-round array), cheap to construct per round; BroadcastSession
+// converts implicitly so existing call sites compile unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+
+namespace radio {
+
+class BroadcastSession;
+
+class SessionView {
+ public:
+  SessionView(const Graph& g, const Bitset& informed,
+              std::span<const std::uint32_t> informed_round,
+              std::size_t informed_count) noexcept
+      : graph_(&g),
+        informed_(&informed),
+        informed_round_(informed_round),
+        informed_count_(informed_count) {}
+
+  /// Implicit on purpose: run_protocol and the tests hand sessions straight
+  /// to Protocol::select_transmitters. Defined in session.cpp.
+  SessionView(const BroadcastSession& session) noexcept;  // NOLINT(runtime/explicit)
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+  bool informed(NodeId v) const noexcept { return informed_->test(v); }
+
+  /// Round in which v became informed; kUnreachable if still uninformed.
+  /// The source is informed at round 0.
+  std::uint32_t informed_round(NodeId v) const noexcept {
+    return informed_round_[v];
+  }
+
+  std::size_t informed_count() const noexcept { return informed_count_; }
+
+  const Bitset& informed_set() const noexcept { return *informed_; }
+
+ private:
+  const Graph* graph_;
+  const Bitset* informed_;
+  std::span<const std::uint32_t> informed_round_;
+  std::size_t informed_count_;
+};
+
+}  // namespace radio

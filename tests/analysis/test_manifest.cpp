@@ -27,6 +27,7 @@ RunRecord sample_record() {
   record.config.trials = 3;
   record.config.seed = 12345678901234567890ull;
   record.config.quick = false;
+  record.config.batch = 64;
   record.config.csv_path = "/tmp/ex.csv";
   record.result.id = "EX";
   record.result.title = "sample experiment";
@@ -65,6 +66,7 @@ TEST(Manifest, RoundTripsThroughJson) {
   EXPECT_EQ(config.at("trials").as_int64(), 3);
   EXPECT_EQ(config.at("seed").as_uint64(), 12345678901234567890ull);
   EXPECT_FALSE(config.at("quick").as_bool());
+  EXPECT_EQ(config.at("batch").as_int64(), 64);
   EXPECT_EQ(config.at("csv_path").as_string(), "/tmp/ex.csv");
 
   const Json& provenance = parsed.at("provenance");

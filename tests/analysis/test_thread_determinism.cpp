@@ -32,7 +32,7 @@ std::string scrub_wall_seconds(const std::string& line) {
   return std::regex_replace(line, kWall, "\"wall_seconds\":0");
 }
 
-RunArtifacts run_e1_quick(int threads) {
+RunArtifacts run_quick(const std::string& id, int threads, int batch) {
 #if defined(RADIO_HAVE_OPENMP)
   omp_set_num_threads(threads);
 #else
@@ -42,13 +42,16 @@ RunArtifacts run_e1_quick(int threads) {
   config.trials = 4;
   config.seed = 20240511;
   config.quick = true;
-  const RunRecord record = run_registered_experiment("E1", config);
+  config.batch = batch;
+  const RunRecord record = run_registered_experiment(id, config);
   RunArtifacts artifacts;
   artifacts.csv = record.result.table.to_csv();
   for (const std::string& line : metrics_lines(record))
     artifacts.metrics.push_back(scrub_wall_seconds(line));
   return artifacts;
 }
+
+RunArtifacts run_e1_quick(int threads) { return run_quick("E1", threads, 1); }
 
 class ThreadDeterminism : public ::testing::Test {
  protected:
@@ -82,6 +85,27 @@ TEST_F(ThreadDeterminism, RepeatedRunsAreIdenticalAtSameThreadCount) {
   const RunArtifacts b = run_e1_quick(4);
   EXPECT_EQ(a.csv, b.csv);
   EXPECT_EQ(a.metrics, b.metrics);
+}
+
+// The sim/batch contract at the experiment surface: RADIO_BATCH/--batch must
+// change wall time only. E7's schedule searches run on the batched core, so
+// its quick table is the sharpest end-to-end probe — byte-identical CSV and
+// metrics whether trials advance per-instance (batch=1) or 64 lanes at a
+// time, and at any thread count.
+TEST_F(ThreadDeterminism, E7QuickIsByteIdenticalAcrossBatchAndThreadCounts) {
+  const RunArtifacts unbatched = run_quick("E7", 1, 1);
+  const RunArtifacts batched = run_quick("E7", 1, 64);
+  EXPECT_EQ(unbatched.csv, batched.csv)
+      << "E7 CSV differs between --batch 1 and --batch 64 — a lane leaked "
+         "state or drew from the wrong trial stream";
+  ASSERT_EQ(unbatched.metrics.size(), batched.metrics.size());
+  for (std::size_t i = 0; i < unbatched.metrics.size(); ++i)
+    EXPECT_EQ(unbatched.metrics[i], batched.metrics[i]) << "metrics line " << i;
+
+  const RunArtifacts batched_mt = run_quick("E7", 4, 64);
+  EXPECT_EQ(batched.csv, batched_mt.csv)
+      << "batched E7 CSV differs between OMP_NUM_THREADS=1 and 4";
+  EXPECT_EQ(batched.metrics, batched_mt.metrics);
 }
 
 }  // namespace

@@ -96,7 +96,7 @@ TEST(TopologyBroadcast, HypercubeFloodingFailsLikeGnp) {
     std::string name() const override { return "flood"; }
     bool is_distributed() const override { return true; }
     void reset(const ProtocolContext&) override {}
-    void select_transmitters(std::uint32_t, const BroadcastSession& session,
+    void select_transmitters(std::uint32_t, const SessionView& session,
                              Rng&, std::vector<NodeId>& out) override {
       for (NodeId v = 0; v < session.graph().num_nodes(); ++v)
         if (session.informed(v)) out.push_back(v);

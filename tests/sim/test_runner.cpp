@@ -14,7 +14,7 @@ class FrontierProtocol final : public Protocol {
   std::string name() const override { return "frontier"; }
   bool is_distributed() const override { return false; }
   void reset(const ProtocolContext&) override { resets_++; }
-  void select_transmitters(std::uint32_t round, const BroadcastSession&,
+  void select_transmitters(std::uint32_t round, const SessionView&,
                            Rng&, std::vector<NodeId>& out) override {
     out.push_back(static_cast<NodeId>(round - 1));
   }
@@ -27,7 +27,7 @@ class SilentProtocol final : public Protocol {
   std::string name() const override { return "silent"; }
   bool is_distributed() const override { return true; }
   void reset(const ProtocolContext&) override {}
-  void select_transmitters(std::uint32_t, const BroadcastSession&, Rng&,
+  void select_transmitters(std::uint32_t, const SessionView&, Rng&,
                            std::vector<NodeId>&) override {}
 };
 
