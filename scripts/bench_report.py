@@ -19,12 +19,17 @@ the sim/batch throughput table: SWEEP_JSON is the output of
 and the entry gains a ``batch_sweep`` list of {n, lanes, trials/sec both
 ways, speedup} rows — the instance-parallel core's perf record.
 
+With ``--gen-sweep GEN_JSON`` (the output of ``bench/bench_graph_gen
+--benchmark_format=json``) the entry gains a ``graph_gen`` list of
+{path, n, ms, edges/sec} rows: generation throughput of the CSR and bitmap
+producers plus the implicit backend's index-build time vs n.
+
 Standard library only; no third-party imports.
 
 Usage:
   python3 scripts/bench_report.py --check OUT_DIR
   python3 scripts/bench_report.py OUT_DIR --bench-json BENCH_run.json \
-      [--batch-sweep sweep.json]
+      [--batch-sweep sweep.json] [--gen-sweep gen.json]
 """
 
 from __future__ import annotations
@@ -164,6 +169,43 @@ def batch_sweep_rows(sweep_json: pathlib.Path) -> list[dict]:
     return rows
 
 
+GEN_BENCH_PATHS = {
+    "BM_GenerateCsr": "csr",
+    "BM_GenerateBitmap": "bitmap",
+    "BM_ImplicitIndex": "implicit",
+}
+
+
+def gen_sweep_rows(gen_json: pathlib.Path) -> list[dict]:
+    """Extracts {path, n, ms, edges/sec} rows from a bench_graph_gen
+    google-benchmark JSON dump — generation time vs n per production path."""
+    try:
+        doc = json.loads(gen_json.read_text())
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"error: {gen_json} is not valid JSON: {err}")
+    rows = []
+    for bench in doc.get("benchmarks", []):
+        parts = bench.get("name", "").split("/")
+        if len(parts) != 2 or parts[0] not in GEN_BENCH_PATHS:
+            continue
+        rate = bench.get("edges_per_s")
+        real_time = bench.get("real_time")
+        if not isinstance(rate, (int, float)) or \
+                not isinstance(real_time, (int, float)):
+            continue
+        rows.append({
+            "path": GEN_BENCH_PATHS[parts[0]],
+            "n": int(parts[1]),
+            "ms": round(float(real_time), 3),  # benchmark unit is ms
+            "edges_per_s": round(float(rate), 2),
+        })
+    if not rows:
+        raise SystemExit(
+            f"error: {gen_json} has no BM_GenerateCsr / BM_GenerateBitmap /"
+            " BM_ImplicitIndex entries")
+    return sorted(rows, key=lambda r: (r["path"], r["n"]))
+
+
 def append_entry(bench_json: pathlib.Path, entry: dict) -> None:
     if bench_json.exists():
         history = json.loads(bench_json.read_text())
@@ -189,6 +231,9 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--batch-sweep", type=pathlib.Path,
                         help="bench_batch_sweep --benchmark_format=json "
                              "output to fold into the entry")
+    parser.add_argument("--gen-sweep", type=pathlib.Path,
+                        help="bench_graph_gen --benchmark_format=json "
+                             "output to fold into the entry")
     args = parser.parse_args(argv)
 
     if not args.out_dir.is_dir():
@@ -203,6 +248,8 @@ def main(argv: list[str]) -> int:
     entry = trajectory_entry(manifests)
     if args.batch_sweep is not None:
         entry["batch_sweep"] = batch_sweep_rows(args.batch_sweep)
+    if args.gen_sweep is not None:
+        entry["graph_gen"] = gen_sweep_rows(args.gen_sweep)
     append_entry(args.bench_json, entry)
     return 0
 

@@ -54,6 +54,30 @@ fi
 if RADIO_TRIALS=junk "$BUILD_DIR/bench/radio_bench" run E1 2>/dev/null; then
   echo "ci: radio_bench accepted RADIO_TRIALS=junk" >&2; exit 1
 fi
+if "$BUILD_DIR/bench/radio_bench" run E2 --graph-backend=dense 2>/dev/null; then
+  echo "ci: radio_bench accepted --graph-backend=dense" >&2; exit 1
+fi
+
+# ----------------------------------------------------------- giant-n smoke
+# The implicit backend's reason to exist: one E2 row at n = 10^7 driven
+# end to end through ImplicitGnp (skippable alongside the sanitizers for the
+# fast local loop; the 600s budget is ~15x the single-core wall time, so a
+# timeout means the O(n²) wall is back, not a slow machine).
+if [[ "${RADIO_CI_SKIP_GIANT:-${RADIO_CI_SKIP_SANITIZERS:-0}}" != "1" ]]; then
+  GIANT_DIR="$(mktemp -d)"
+  timeout 600 "$BUILD_DIR/bench/radio_bench" run E2 --trials 1 --seed 7 \
+    --quick --graph-backend implicit --out "$GIANT_DIR" \
+    > "$GIANT_DIR/stdout.txt"
+  grep -q '"graph_backend": "implicit"' "$GIANT_DIR/e2.manifest.json" || {
+    echo "ci: giant-n manifest does not record the implicit backend" >&2
+    exit 1
+  }
+  grep -q '^| 10000000 ' "$GIANT_DIR/stdout.txt" || {
+    echo "ci: giant-n run did not produce the n=10^7 row" >&2; exit 1
+  }
+  rm -rf "$GIANT_DIR"
+  echo "ci: giant-n smoke ok (E2 implicit, n=10^7)" >&2
+fi
 
 # -------------------------------------------------------------- clang-tidy
 # Diff-aware: lint only translation units changed since the merge-base with

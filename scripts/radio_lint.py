@@ -112,6 +112,8 @@ KERNEL_FILES = (
     "src/sim/batch/batch_scheduler.hpp",
     "src/graph/bfs.cpp",
     "src/graph/bfs.hpp",
+    "src/graph/implicit_gnp.cpp",
+    "src/graph/implicit_gnp.hpp",
 )
 IOSTREAM_INCLUDE_RE = re.compile(
     r'#\s*include\s*[<"](iostream|ostream|istream|fstream|sstream|cstdio|stdio\.h)[>"]'

@@ -87,6 +87,14 @@ BenchCommand parse_bench_command(const std::vector<std::string>& args) {
       const std::string value = flag_value("--batch", arg, args, i);
       command.batch = static_cast<int>(
           parse_int(value, "--batch", 1, 4096).value_or_throw());
+    } else if (matches_flag(arg, "--graph-backend")) {
+      const std::string value = flag_value("--graph-backend", arg, args, i);
+      const auto choice = graph_backend_from_name(value);
+      if (!choice)
+        usage_error("--graph-backend: '" + value +
+                    "' is not a graph backend (expected auto, csr, bitmap or "
+                    "implicit)");
+      command.graph_backend = *choice;
     } else if (matches_flag(arg, "--out")) {
       command.out_dir = flag_value("--out", arg, args, i);
       if (command.out_dir.empty()) usage_error("--out requires a directory");
@@ -116,6 +124,7 @@ ExperimentConfig config_for_run(const BenchCommand& command,
   if (command.seed) config.seed = *command.seed;
   if (command.full) config.quick = !*command.full;
   if (command.batch) config.batch = *command.batch;
+  if (command.graph_backend) config.graph_backend = *command.graph_backend;
   if (!command.csv_dir.empty())
     config.csv_path = command.csv_dir + "/" + lower + ".csv";
   else if (!command.out_dir.empty())
@@ -140,6 +149,11 @@ std::string bench_usage() {
       "  --batch B      sim/batch lane width, 1–4096       (RADIO_BATCH, 1)\n"
       "                 shared-instance probes advance B instances per\n"
       "                 sweep; results are byte-identical for any B\n"
+      "  --graph-backend auto|csr|bitmap|implicit\n"
+      "                 instance representation      (RADIO_GRAPH_BACKEND,\n"
+      "                 auto). auto picks per instance via the cost model;\n"
+      "                 implicit switches backend-aware drivers (E2) to the\n"
+      "                 giant-n on-demand sampler\n"
       "  --out DIR      write CSVs, per-experiment manifests (<id>.manifest\n"
       "                 .json) and a metrics.jsonl stream into DIR\n"
       "  --csv DIR      write CSVs only, legacy RADIO_CSV_DIR layout\n"

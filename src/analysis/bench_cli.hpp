@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/experiment_config.hpp"
+#include "graph/backend.hpp"
 
 namespace radio {
 
@@ -31,6 +32,8 @@ struct BenchCommand {
   std::optional<std::uint64_t> seed;
   std::optional<bool> full;   ///< --full → true, --quick → false
   std::optional<int> batch;   ///< --batch: sim/batch lane width (1–4096)
+  /// --graph-backend: auto | csr | bitmap | implicit (graph/backend.hpp)
+  std::optional<GraphBackendChoice> graph_backend;
 
   std::string out_dir;  ///< --out: CSVs + manifests + metrics.jsonl here
   std::string csv_dir;  ///< --csv: CSVs only (legacy RADIO_CSV_DIR shape)

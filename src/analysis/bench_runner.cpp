@@ -60,6 +60,7 @@ Json config_json(const ExperimentConfig& config) {
   obj.set("seed", config.seed);
   obj.set("quick", config.quick);
   obj.set("batch", config.batch);
+  obj.set("graph_backend", std::string(to_string(config.graph_backend)));
   obj.set("csv_path", config.csv_path);
   return obj;
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -27,6 +28,14 @@ ExperimentConfig ExperimentConfig::from_environment(
   if (const char* batch = std::getenv("RADIO_BATCH"))
     config.batch = static_cast<int>(
         parse_int(batch, "RADIO_BATCH", 1, 4096).value_or_throw());
+  if (const char* backend = std::getenv("RADIO_GRAPH_BACKEND")) {
+    const auto choice = graph_backend_from_name(backend);
+    if (!choice)
+      throw std::runtime_error(
+          std::string("RADIO_GRAPH_BACKEND: '") + backend +
+          "' is not a graph backend (expected auto, csr, bitmap or implicit)");
+    config.graph_backend = *choice;
+  }
   if (const char* dir = std::getenv("RADIO_CSV_DIR"))
     config.csv_path = std::string(dir) + "/" + experiment_id + ".csv";
   return config;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/backend.hpp"
 #include "util/table.hpp"
 
 namespace radio {
@@ -23,9 +24,16 @@ struct ExperimentConfig {
   /// engine. Results are byte-identical for any value — batch changes wall
   /// time, never data (the sim/batch determinism contract).
   int batch = 1;
+  /// Graph backend for instance generation (graph/backend.hpp). kAuto lets
+  /// the cost model pick per instance (bitmap generation for dense rows, CSR
+  /// otherwise); kCsr/kBitmap force a materialized representation. kImplicit
+  /// switches backend-aware drivers (currently E2) into their giant-n mode
+  /// on the on-demand ImplicitGnp sampler; drivers that need a materialized
+  /// Graph treat it as kAuto.
+  GraphBackendChoice graph_backend = GraphBackendChoice::kAuto;
 
   /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR /
-  /// RADIO_BATCH from the
+  /// RADIO_BATCH / RADIO_GRAPH_BACKEND from the
   /// environment so bench binaries can be scaled up without rebuilds.
   /// `radio_bench` layers its CLI flags on top of this (bench_cli.hpp).
   /// Malformed values throw std::runtime_error naming the variable and the

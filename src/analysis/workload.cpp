@@ -6,7 +6,8 @@
 
 namespace radio {
 
-BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng) {
+BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng,
+                                          GraphBackendChoice backend) {
   RADIO_EXPECTS(params.n >= 2);
   BroadcastInstance instance;
   instance.params = params;
@@ -14,7 +15,7 @@ BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng) {
   constexpr int kAttempts = 8;
   Graph last;
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    last = generate_gnp(params, rng);
+    last = generate_gnp_backend(params, rng, backend);
     if (is_connected(last)) {
       instance.graph = std::move(last);
       instance.resampled = attempt > 0;

@@ -2,6 +2,7 @@
 // with bookkeeping about how the instance was obtained.
 #pragma once
 
+#include "graph/backend.hpp"
 #include "graph/graph.hpp"
 #include "graph/random_graph.hpp"
 #include "sim/protocol.hpp"
@@ -21,7 +22,17 @@ struct BroadcastInstance {
 /// to the giant component of the last draw (recording which happened). The
 /// paper's regime makes the fallback a o(1/n)-probability event; the flags
 /// keep the harness honest when parameters leave the regime.
-BroadcastInstance make_broadcast_instance(const GnpParams& params, Rng& rng);
+///
+/// `backend` selects how each draw is generated (generate_gnp_backend):
+/// kAuto lets the cost model pick bitmap vs CSR generation per instance,
+/// kCsr/kBitmap force one. The result is always a materialized Graph, so
+/// kImplicit — which only backend-aware drivers can exploit end to end — is
+/// generated as kAuto here. Different backends draw from the RNG in
+/// different patterns, so graphs differ across backends for the same seed;
+/// each backend is individually deterministic.
+BroadcastInstance make_broadcast_instance(
+    const GnpParams& params, Rng& rng,
+    GraphBackendChoice backend = GraphBackendChoice::kAuto);
 
 /// Uniformly random source node.
 NodeId pick_source(const Graph& g, Rng& rng);

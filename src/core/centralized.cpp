@@ -1,258 +1,18 @@
 #include "core/centralized.hpp"
 
-#include <algorithm>
-#include <bit>
 #include <cmath>
 
-#include "graph/covering.hpp"
-#include "sim/channel_kernel.hpp"
-#include "sim/session.hpp"
-#include "util/assert.hpp"
-
 namespace radio {
-namespace {
 
-/// Counts how many currently uninformed listeners would receive the message
-/// if exactly `sample` (all informed) transmitted — the builder's look-ahead
-/// used to resample unproductive phase-2 rounds before committing them.
-/// Uses the word-parallel kernel when the cost model says the sweep over all
-/// listener neighborhoods would be dense work (both counts are exact).
-std::size_t preview_new_informed(const Graph& g, const BroadcastSession& session,
-                                 std::span<const NodeId> sample) {
-  Bitset member(g.num_nodes());
-  for (NodeId v : sample) member.set(v);
-
-  // Dense preview: a listener would newly receive iff it has exactly one
-  // sampled neighbor and is neither informed nor sampled itself.
-  const EdgeCount listener_work = g.num_edges() * 2;  // Σ_w deg(w)
-  if (dense_round_pays(g.num_nodes(), sample.size(), listener_work)) {
-    DenseRoundAccumulator acc;
-    acc.accumulate(g, sample);
-    const std::span<const std::uint64_t> once = acc.once_words();
-    const std::span<const std::uint64_t> twice = acc.twice_words();
-    const std::span<const std::uint64_t> informed =
-        session.informed_set().words();
-    const std::span<const std::uint64_t> sampled = member.words();
-    std::size_t newly = 0;
-    for (std::size_t wi = 0; wi < once.size(); ++wi)
-      newly += static_cast<std::size_t>(std::popcount(
-          andnot(andnot(andnot(once[wi], twice[wi]), informed[wi]),
-                 sampled[wi])));
-    return newly;
-  }
-
-  std::size_t newly = 0;
-  for (NodeId w = 0; w < g.num_nodes(); ++w) {
-    if (session.informed(w) || member.test(w)) continue;
-    std::uint32_t hits = 0;
-    for (NodeId x : g.neighbors(w)) {
-      if (member.test(x) && ++hits > 1) break;
-    }
-    if (hits == 1) ++newly;
-  }
-  return newly;
-}
-
-std::vector<NodeId> sample_subset(std::span<const NodeId> candidates,
-                                  double rate, Rng& rng) {
-  std::vector<NodeId> out;
-  out.reserve(static_cast<std::size_t>(
-                  rate * static_cast<double>(candidates.size())) +
-              8);
-  for (NodeId v : candidates)
-    if (rng.bernoulli(rate)) out.push_back(v);
-  return out;
-}
-
-/// Uniform sample of exactly min(k, |candidates|) elements
-/// (partial Fisher–Yates on a copy).
-std::vector<NodeId> sample_exactly(std::span<const NodeId> candidates,
-                                   std::size_t k, Rng& rng) {
-  std::vector<NodeId> pool(candidates.begin(), candidates.end());
-  k = std::min(k, pool.size());
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.uniform_below(pool.size() - i));
-    std::swap(pool[i], pool[j]);
-  }
-  pool.resize(k);
-  return pool;
-}
-
-}  // namespace
+// The materialized-Graph instantiation of the templated builder (body in
+// centralized.hpp), compiled once here; ImplicitGnp callers instantiate their
+// own in their translation units.
+template CentralizedResult build_centralized_schedule<Graph>(
+    const Graph&, NodeId, double, Rng&, const CentralizedOptions&);
 
 double centralized_target_rounds(double n, double d) noexcept {
   if (n < 2.0 || d <= 1.0) return 1.0;
   return std::log(n) / std::log(d) + std::log(d);
-}
-
-CentralizedResult build_centralized_schedule(const Graph& g, NodeId source,
-                                             double expected_degree, Rng& rng,
-                                             const CentralizedOptions& options) {
-  RADIO_EXPECTS(g.num_nodes() > 0);
-  RADIO_EXPECTS(source < g.num_nodes());
-  RADIO_EXPECTS(expected_degree > 1.0);
-
-  const NodeId n = g.num_nodes();
-  const double d = expected_degree;
-  const LayerDecomposition layers = bfs_layers(g, source);
-
-  CentralizedResult result;
-  CentralizedBuildReport& report = result.report;
-  report.eccentricity = layers.eccentricity();
-
-  BroadcastSession session(g, source);
-  auto emit = [&](std::vector<NodeId> transmitters, const char* phase) {
-    session.step(transmitters);
-    result.schedule.rounds.push_back(std::move(transmitters));
-    result.schedule.phase_of.emplace_back(phase);
-  };
-
-  // ---------------------------------------------------------------- Phase 1
-  // First layer of size >= n/d is where the pipeline hands over to selective
-  // rounds (the paper's T_D(u), "the first layer with Omega(n/d) nodes").
-  const auto big_threshold = static_cast<std::size_t>(
-      std::max(1.0, static_cast<double>(n) / d));
-  std::size_t pivot = layers.first_layer_of_size(big_threshold);
-  if (pivot >= layers.layers.size()) pivot = layers.layers.size() - 1;
-  report.pivot_layer = static_cast<std::uint32_t>(pivot);
-
-  const std::uint32_t phase1_min = static_cast<std::uint32_t>(pivot);
-  const std::uint32_t phase1_max = 2 * phase1_min + 8;
-  std::uint32_t stagnant = 0;
-  std::vector<NodeId> transmitters;
-  for (std::uint32_t round = 1; round <= phase1_max; ++round) {
-    if (phase1_min == 0) break;
-    transmitters.clear();
-    for (std::size_t layer = 0; layer < pivot; ++layer) {
-      // Even-distance layers transmit in odd rounds, odd-distance in even
-      // rounds (the paper's alternation); the ablation floods every round.
-      if (!options.ablate_parity && (layer % 2) != ((round - 1) % 2)) continue;
-      for (NodeId v : layers.layers[layer])
-        if (session.informed(v)) transmitters.push_back(v);
-    }
-    emit(transmitters, "phase1:parity");
-    ++report.phase1_rounds;
-    const bool progressed = session.history().back().newly_informed > 0;
-    stagnant = progressed ? 0 : stagnant + 1;
-    if (round >= phase1_min && stagnant >= 2) break;
-    if (session.complete()) break;
-  }
-  report.uninformed_after_phase1 = n - session.informed_count();
-
-  // ---------------------------------------------------------------- Phase 2
-  Bitset used(n);  // nodes already spent in a selective round
-  if (!session.complete()) {
-    // Kick-off round: Theta(n/d) informed vertices of the pivot layer.
-    std::vector<NodeId> pivot_informed;
-    for (NodeId v : layers.layers[pivot])
-      if (session.informed(v)) pivot_informed.push_back(v);
-    if (pivot_informed.empty()) {
-      // The pipeline never reached the pivot layer (tiny/dense corner
-      // cases): fall back to every informed node — for pivot 0 this is just
-      // the source transmitting alone.
-      pivot_informed = session.informed_nodes();
-    }
-    std::vector<NodeId> kick =
-        sample_exactly(pivot_informed, big_threshold, rng);
-    for (NodeId v : kick) used.set(v);
-    emit(std::move(kick), "phase2:kickoff");
-    ++report.phase2_rounds;
-
-    const auto selective_budget = static_cast<std::uint32_t>(
-        std::ceil(options.selective_rounds_factor * std::max(1.0, std::log(d))));
-    const auto residual_target = static_cast<std::size_t>(
-        std::max(1.0, static_cast<double>(n) / (d * d)));
-    const double rate = std::min(1.0, options.selective_rate_scale / d);
-
-    for (std::uint32_t k = 0; k < selective_budget; ++k) {
-      if (session.complete()) break;
-      if (n - session.informed_count() <= residual_target) break;
-      std::vector<NodeId> candidates;
-      for (NodeId v = 0; v < n; ++v)
-        if (session.informed(v) &&
-            (options.ablate_disjoint_sets || !used.test(v)))
-          candidates.push_back(v);
-      if (candidates.empty()) break;
-
-      // Build-time resampling: the schedule must be productive once frozen,
-      // so unproductive draws are discarded here rather than replayed later.
-      std::vector<NodeId> best;
-      std::size_t best_gain = 0;
-      for (int attempt = 0; attempt < std::max(1, options.resample_attempts);
-           ++attempt) {
-        std::vector<NodeId> sample = sample_subset(candidates, rate, rng);
-        const std::size_t gain = preview_new_informed(g, session, sample);
-        if (gain > best_gain || best.empty()) {
-          best_gain = gain;
-          best = std::move(sample);
-        }
-        // Expected yield of a 1/d-selective round is a constant fraction of
-        // the uninformed nodes (Lemma 4: each uninformed node has exactly
-        // one sampled neighbor with probability ~lambda*e^-lambda); accept
-        // the draw once it reaches a healthy share of that.
-        if (static_cast<double>(best_gain) >=
-            0.15 * static_cast<double>(n - session.informed_count()))
-          break;
-      }
-      for (NodeId v : best) used.set(v);
-      emit(std::move(best), "phase2:selective");
-      ++report.phase2_rounds;
-    }
-  }
-  report.uninformed_after_phase2 = n - session.informed_count();
-
-  // ---------------------------------------------------------------- Phase 3
-  const double mopup_rate = std::min(1.0, 1.0 / d);
-  for (int sweep = 0; sweep < options.max_mopup_sweeps; ++sweep) {
-    if (session.complete()) break;
-    const std::vector<NodeId> y = session.uninformed_nodes();
-    const std::vector<NodeId> x = session.informed_nodes();
-
-    if (options.use_private_matching) {
-      const FullMatching matching = private_neighbor_matching(g, x, y);
-      if (matching.complete) {
-        std::vector<NodeId> cover;
-        cover.reserve(matching.pairs.size());
-        for (const auto& [xx, yy] : matching.pairs) {
-          (void)yy;
-          cover.push_back(xx);
-        }
-        emit(std::move(cover), "phase3:matching");
-        ++report.phase3_rounds;
-        continue;
-      }
-    }
-
-    // Fallback: best sampled independent cover out of a few draws
-    // (Lemma 4's probabilistic construction, derandomized by selection).
-    SampledCover best;
-    for (int attempt = 0; attempt < std::max(1, options.resample_attempts);
-         ++attempt) {
-      SampledCover cover = sample_independent_cover(g, x, y, mopup_rate, rng);
-      if (cover.covered.size() > best.covered.size() ||
-          (best.sample.empty() && attempt == 0))
-        best = std::move(cover);
-      if (best.covered.size() == y.size()) break;
-    }
-    if (best.covered.empty() && best.sample.empty()) {
-      // Degenerate rate (d >= n): transmit a single informed neighbor of the
-      // first uninformed node.
-      for (NodeId w : g.neighbors(y.front())) {
-        if (session.informed(w)) {
-          best.sample.assign(1, w);
-          break;
-        }
-      }
-    }
-    emit(std::move(best.sample), "phase3:sampled_cover");
-    ++report.phase3_rounds;
-  }
-
-  report.completed = session.complete();
-  report.total_rounds = static_cast<std::uint32_t>(result.schedule.length());
-  report.total_transmissions = result.schedule.total_transmissions();
-  return result;
 }
 
 }  // namespace radio

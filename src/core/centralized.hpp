@@ -27,15 +27,34 @@
 // topology, so this is legitimate centralized preprocessing) and guarantees
 // the emitted schedule is *legal*: every scheduled transmitter is informed
 // by the time it transmits.
+//
+// Backend-agnostic since the implicit-graph refactor: the builder is
+// templated on GraphBackend and simulates its own rounds through
+// LightSession below instead of a full BroadcastSession — it only ever
+// schedules informed transmitters on a fault-free channel, for which the
+// exactly-one-transmitting-neighbor delivery rule reduces to bitset algebra
+// (see LightSession::step). On the materialized Graph this reproduces the
+// engine-backed builder bit for bit; on ImplicitGnp it runs without ever
+// materializing an edge list.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "graph/backend.hpp"
 #include "graph/bfs.hpp"
+#include "graph/covering.hpp"
 #include "graph/graph.hpp"
+#include "sim/channel_kernel.hpp"
 #include "sim/schedule.hpp"
+#include "util/assert.hpp"
+#include "util/bitset.hpp"
 #include "util/rng.hpp"
 
 namespace radio {
@@ -89,14 +108,370 @@ struct CentralizedResult {
   CentralizedBuildReport report;
 };
 
+/// The builder's private broadcast simulator. A full BroadcastSession tracks
+/// faults, losses, observations and per-round statistics the builder never
+/// reads; LightSession keeps exactly the informed-set evolution. Because the
+/// builder only ever schedules INFORMED transmitters (asserted per step) on
+/// a fault-free channel, RadioEngine's delivery rule — a listener receives
+/// iff it is uninformed, not transmitting, and has exactly one transmitting
+/// neighbor — collapses to
+///
+///     newly = once & ~twice & ~informed
+///
+/// (transmitters ⊆ informed, so ~informed already excludes them). Both the
+/// sparse sweep and the word-parallel dense fold below are exact, and for
+/// the materialized Graph the informed evolution is bit-identical to the
+/// BroadcastSession the builder previously drove.
+template <GraphBackend G>
+class LightSession {
+ public:
+  LightSession(const G& g, NodeId source)
+      : g_(&g),
+        informed_(g.num_nodes()),
+        once_(g.num_nodes()),
+        twice_(g.num_nodes()) {
+    RADIO_EXPECTS(source < g.num_nodes());
+    informed_.set(source);
+    informed_count_ = 1;
+  }
+
+  void step(std::span<const NodeId> transmitters) {
+    once_.clear_all();
+    twice_.clear_all();
+    bool dense = false;
+    if constexpr (std::is_same_v<G, Graph>) {
+      dense = dense_round_pays(g_->num_nodes(), transmitters.size(),
+                               sum_transmitter_degrees(*g_, transmitters));
+    }
+    if constexpr (std::is_same_v<G, Graph>) {
+      if (dense) {
+        const std::size_t wpr = g_->bitmap_words_per_row();
+        for (NodeId t : transmitters) {
+          RADIO_EXPECTS(informed_.test(t));
+          accumulate_hits_words(once_.words().data(), twice_.words().data(),
+                                g_->adjacency_row(t).data(), wpr);
+        }
+      }
+    }
+    if (!dense) {
+      for (NodeId t : transmitters) {
+        RADIO_EXPECTS(informed_.test(t));
+        for (NodeId w : g_->neighbors(t)) {
+          if (once_.test(w))
+            twice_.set(w);
+          else
+            once_.set(w);
+        }
+      }
+    }
+    const std::span<const std::uint64_t> once_w = once_.words();
+    const std::span<const std::uint64_t> twice_w = twice_.words();
+    const std::span<std::uint64_t> informed_w = informed_.words();
+    std::size_t newly = 0;
+    for (std::size_t i = 0; i < once_w.size(); ++i) {
+      const std::uint64_t fresh = once_w[i] & ~twice_w[i] & ~informed_w[i];
+      newly += static_cast<std::size_t>(std::popcount(fresh));
+      informed_w[i] |= fresh;
+    }
+    informed_count_ += newly;
+    last_newly_ = newly;
+  }
+
+  bool informed(NodeId v) const noexcept { return informed_.test(v); }
+  std::size_t informed_count() const noexcept { return informed_count_; }
+  bool complete() const noexcept {
+    return informed_count_ == static_cast<std::size_t>(g_->num_nodes());
+  }
+  /// Nodes newly informed by the most recent step().
+  std::size_t last_newly() const noexcept { return last_newly_; }
+  const Bitset& informed_set() const noexcept { return informed_; }
+
+  std::vector<NodeId> informed_nodes() const {
+    std::vector<NodeId> out;
+    out.reserve(informed_count_);
+    informed_.collect(out);
+    return out;
+  }
+
+  std::vector<NodeId> uninformed_nodes() const {
+    std::vector<NodeId> out;
+    const NodeId n = g_->num_nodes();
+    out.reserve(static_cast<std::size_t>(n) - informed_count_);
+    for (NodeId v = 0; v < n; ++v)
+      if (!informed_.test(v)) out.push_back(v);
+    return out;
+  }
+
+ private:
+  const G* g_;
+  Bitset informed_;
+  Bitset once_;
+  Bitset twice_;
+  std::size_t informed_count_ = 0;
+  std::size_t last_newly_ = 0;
+};
+
+namespace centralized_detail {
+
+/// Counts how many currently uninformed listeners would receive the message
+/// if exactly `sample` (all informed) transmitted — the builder's look-ahead
+/// used to resample unproductive phase-2 rounds before committing them.
+/// Accumulates over the SAMPLE's neighborhoods (O(Σ deg(sample)), the cheap
+/// direction on every backend; the old implementation swept every listener's
+/// neighborhood instead, O(2m) per preview) or over bitmap rows when the
+/// dense cost model pays; both produce exact counts.
+template <GraphBackend G>
+std::size_t preview_new_informed(const G& g, const LightSession<G>& session,
+                                 std::span<const NodeId> sample) {
+  const NodeId n = g.num_nodes();
+  Bitset member(n);
+  Bitset once(n);
+  Bitset twice(n);
+  for (NodeId v : sample) member.set(v);
+
+  bool dense = false;
+  if constexpr (std::is_same_v<G, Graph>) {
+    dense = dense_round_pays(n, sample.size(),
+                             sum_transmitter_degrees(g, sample));
+  }
+  if constexpr (std::is_same_v<G, Graph>) {
+    if (dense) {
+      const std::size_t wpr = g.bitmap_words_per_row();
+      for (NodeId t : sample)
+        accumulate_hits_words(once.words().data(), twice.words().data(),
+                              g.adjacency_row(t).data(), wpr);
+    }
+  }
+  if (!dense) {
+    for (NodeId t : sample) {
+      for (NodeId w : g.neighbors(t)) {
+        if (once.test(w))
+          twice.set(w);
+        else
+          once.set(w);
+      }
+    }
+  }
+
+  const std::span<const std::uint64_t> once_w = once.words();
+  const std::span<const std::uint64_t> twice_w = twice.words();
+  const std::span<const std::uint64_t> informed_w =
+      session.informed_set().words();
+  const std::span<const std::uint64_t> member_w = member.words();
+  std::size_t newly = 0;
+  for (std::size_t i = 0; i < once_w.size(); ++i)
+    newly += static_cast<std::size_t>(std::popcount(
+        once_w[i] & ~twice_w[i] & ~informed_w[i] & ~member_w[i]));
+  return newly;
+}
+
+inline std::vector<NodeId> sample_subset(std::span<const NodeId> candidates,
+                                         double rate, Rng& rng) {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(
+                  rate * static_cast<double>(candidates.size())) +
+              8);
+  for (NodeId v : candidates)
+    if (rng.bernoulli(rate)) out.push_back(v);
+  return out;
+}
+
+/// Uniform sample of exactly min(k, |candidates|) elements
+/// (partial Fisher–Yates on a copy).
+inline std::vector<NodeId> sample_exactly(std::span<const NodeId> candidates,
+                                          std::size_t k, Rng& rng) {
+  std::vector<NodeId> pool(candidates.begin(), candidates.end());
+  k = std::min(k, pool.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace centralized_detail
+
 /// Builds a Theorem-5 schedule for broadcasting from `source` on `g`.
 /// `expected_degree` is the model parameter d = p·n the phase lengths are
 /// calibrated against (pass the realized mean degree when p is unknown).
 /// Requires a connected graph; reports completed=false if the round caps were
 /// exhausted (out-of-regime parameters).
-CentralizedResult build_centralized_schedule(const Graph& g, NodeId source,
-                                             double expected_degree, Rng& rng,
-                                             const CentralizedOptions& options = {});
+template <GraphBackend G>
+CentralizedResult build_centralized_schedule(
+    const G& g, NodeId source, double expected_degree, Rng& rng,
+    const CentralizedOptions& options = {}) {
+  RADIO_EXPECTS(g.num_nodes() > 0);
+  RADIO_EXPECTS(source < g.num_nodes());
+  RADIO_EXPECTS(expected_degree > 1.0);
+
+  const NodeId n = g.num_nodes();
+  const double d = expected_degree;
+  const LayerDecomposition layers = bfs_layers(g, source);
+
+  CentralizedResult result;
+  CentralizedBuildReport& report = result.report;
+  report.eccentricity = layers.eccentricity();
+
+  LightSession<G> session(g, source);
+  auto emit = [&](std::vector<NodeId> transmitters, const char* phase) {
+    session.step(transmitters);
+    result.schedule.rounds.push_back(std::move(transmitters));
+    result.schedule.phase_of.emplace_back(phase);
+  };
+
+  // ---------------------------------------------------------------- Phase 1
+  // First layer of size >= n/d is where the pipeline hands over to selective
+  // rounds (the paper's T_D(u), "the first layer with Omega(n/d) nodes").
+  const auto big_threshold = static_cast<std::size_t>(
+      std::max(1.0, static_cast<double>(n) / d));
+  std::size_t pivot = layers.first_layer_of_size(big_threshold);
+  if (pivot >= layers.layers.size()) pivot = layers.layers.size() - 1;
+  report.pivot_layer = static_cast<std::uint32_t>(pivot);
+
+  const std::uint32_t phase1_min = static_cast<std::uint32_t>(pivot);
+  const std::uint32_t phase1_max = 2 * phase1_min + 8;
+  std::uint32_t stagnant = 0;
+  std::vector<NodeId> transmitters;
+  for (std::uint32_t round = 1; round <= phase1_max; ++round) {
+    if (phase1_min == 0) break;
+    transmitters.clear();
+    for (std::size_t layer = 0; layer < pivot; ++layer) {
+      // Even-distance layers transmit in odd rounds, odd-distance in even
+      // rounds (the paper's alternation); the ablation floods every round.
+      if (!options.ablate_parity && (layer % 2) != ((round - 1) % 2)) continue;
+      for (NodeId v : layers.layers[layer])
+        if (session.informed(v)) transmitters.push_back(v);
+    }
+    emit(transmitters, "phase1:parity");
+    ++report.phase1_rounds;
+    const bool progressed = session.last_newly() > 0;
+    stagnant = progressed ? 0 : stagnant + 1;
+    if (round >= phase1_min && stagnant >= 2) break;
+    if (session.complete()) break;
+  }
+  report.uninformed_after_phase1 = n - session.informed_count();
+
+  // ---------------------------------------------------------------- Phase 2
+  Bitset used(n);  // nodes already spent in a selective round
+  if (!session.complete()) {
+    // Kick-off round: Theta(n/d) informed vertices of the pivot layer.
+    std::vector<NodeId> pivot_informed;
+    for (NodeId v : layers.layers[pivot])
+      if (session.informed(v)) pivot_informed.push_back(v);
+    if (pivot_informed.empty()) {
+      // The pipeline never reached the pivot layer (tiny/dense corner
+      // cases): fall back to every informed node — for pivot 0 this is just
+      // the source transmitting alone.
+      pivot_informed = session.informed_nodes();
+    }
+    std::vector<NodeId> kick =
+        centralized_detail::sample_exactly(pivot_informed, big_threshold, rng);
+    for (NodeId v : kick) used.set(v);
+    emit(std::move(kick), "phase2:kickoff");
+    ++report.phase2_rounds;
+
+    const auto selective_budget = static_cast<std::uint32_t>(
+        std::ceil(options.selective_rounds_factor * std::max(1.0, std::log(d))));
+    const auto residual_target = static_cast<std::size_t>(
+        std::max(1.0, static_cast<double>(n) / (d * d)));
+    const double rate = std::min(1.0, options.selective_rate_scale / d);
+
+    for (std::uint32_t k = 0; k < selective_budget; ++k) {
+      if (session.complete()) break;
+      if (n - session.informed_count() <= residual_target) break;
+      std::vector<NodeId> candidates;
+      for (NodeId v = 0; v < n; ++v)
+        if (session.informed(v) &&
+            (options.ablate_disjoint_sets || !used.test(v)))
+          candidates.push_back(v);
+      if (candidates.empty()) break;
+
+      // Build-time resampling: the schedule must be productive once frozen,
+      // so unproductive draws are discarded here rather than replayed later.
+      std::vector<NodeId> best;
+      std::size_t best_gain = 0;
+      for (int attempt = 0; attempt < std::max(1, options.resample_attempts);
+           ++attempt) {
+        std::vector<NodeId> sample =
+            centralized_detail::sample_subset(candidates, rate, rng);
+        const std::size_t gain =
+            centralized_detail::preview_new_informed(g, session, sample);
+        if (gain > best_gain || best.empty()) {
+          best_gain = gain;
+          best = std::move(sample);
+        }
+        // Expected yield of a 1/d-selective round is a constant fraction of
+        // the uninformed nodes (Lemma 4: each uninformed node has exactly
+        // one sampled neighbor with probability ~lambda*e^-lambda); accept
+        // the draw once it reaches a healthy share of that.
+        if (static_cast<double>(best_gain) >=
+            0.15 * static_cast<double>(n - session.informed_count()))
+          break;
+      }
+      for (NodeId v : best) used.set(v);
+      emit(std::move(best), "phase2:selective");
+      ++report.phase2_rounds;
+    }
+  }
+  report.uninformed_after_phase2 = n - session.informed_count();
+
+  // ---------------------------------------------------------------- Phase 3
+  const double mopup_rate = std::min(1.0, 1.0 / d);
+  for (int sweep = 0; sweep < options.max_mopup_sweeps; ++sweep) {
+    if (session.complete()) break;
+    const std::vector<NodeId> y = session.uninformed_nodes();
+    const std::vector<NodeId> x = session.informed_nodes();
+
+    if (options.use_private_matching) {
+      const FullMatching matching = private_neighbor_matching(g, x, y);
+      if (matching.complete) {
+        std::vector<NodeId> cover;
+        cover.reserve(matching.pairs.size());
+        for (const auto& [xx, yy] : matching.pairs) {
+          (void)yy;
+          cover.push_back(xx);
+        }
+        emit(std::move(cover), "phase3:matching");
+        ++report.phase3_rounds;
+        continue;
+      }
+    }
+
+    // Fallback: best sampled independent cover out of a few draws
+    // (Lemma 4's probabilistic construction, derandomized by selection).
+    SampledCover best;
+    for (int attempt = 0; attempt < std::max(1, options.resample_attempts);
+         ++attempt) {
+      SampledCover cover = sample_independent_cover(g, x, y, mopup_rate, rng);
+      if (cover.covered.size() > best.covered.size() ||
+          (best.sample.empty() && attempt == 0))
+        best = std::move(cover);
+      if (best.covered.size() == y.size()) break;
+    }
+    if (best.covered.empty() && best.sample.empty()) {
+      // Degenerate rate (d >= n): transmit a single informed neighbor of the
+      // first uninformed node.
+      for (NodeId w : g.neighbors(y.front())) {
+        if (session.informed(w)) {
+          best.sample.assign(1, w);
+          break;
+        }
+      }
+    }
+    emit(std::move(best.sample), "phase3:sampled_cover");
+    ++report.phase3_rounds;
+  }
+
+  report.completed = session.complete();
+  report.total_rounds = static_cast<std::uint32_t>(result.schedule.length());
+  report.total_transmissions = result.schedule.total_transmissions();
+  return result;
+}
+
+extern template CentralizedResult build_centralized_schedule<Graph>(
+    const Graph&, NodeId, double, Rng&, const CentralizedOptions&);
 
 /// The paper's target round count for given (n, d): ln n / ln d + ln d.
 /// Used by fits and sanity bounds, not by the builder.

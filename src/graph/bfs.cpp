@@ -1,7 +1,5 @@
 #include "graph/bfs.hpp"
 
-#include "util/assert.hpp"
-
 namespace radio {
 
 std::size_t LayerDecomposition::reachable_count() const noexcept {
@@ -17,55 +15,9 @@ std::size_t LayerDecomposition::first_layer_of_size(
   return layers.size();
 }
 
-LayerDecomposition bfs_layers(const Graph& g, NodeId source) {
-  RADIO_EXPECTS(source < g.num_nodes());
-  LayerDecomposition out;
-  out.source = source;
-  out.distance.assign(g.num_nodes(), kUnreachable);
-  out.parent.assign(g.num_nodes(), kInvalidNode);
-
-  out.distance[source] = 0;
-  out.layers.push_back({source});
-  // Layer-synchronous BFS: expand the frontier a full layer at a time so the
-  // layers come out for free.
-  while (true) {
-    const std::vector<NodeId>& frontier = out.layers.back();
-    std::vector<NodeId> next;
-    const auto depth = static_cast<std::uint32_t>(out.layers.size());
-    for (NodeId v : frontier) {
-      for (NodeId w : g.neighbors(v)) {
-        if (out.distance[w] == kUnreachable) {
-          out.distance[w] = depth;
-          out.parent[w] = v;
-          next.push_back(w);
-        }
-      }
-    }
-    if (next.empty()) break;
-    out.layers.push_back(std::move(next));
-  }
-  return out;
-}
-
-std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
-  RADIO_EXPECTS(source < g.num_nodes());
-  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::vector<NodeId> frontier{source};
-  std::vector<NodeId> next;
-  dist[source] = 0;
-  std::uint32_t depth = 0;
-  while (!frontier.empty()) {
-    ++depth;
-    next.clear();
-    for (NodeId v : frontier)
-      for (NodeId w : g.neighbors(v))
-        if (dist[w] == kUnreachable) {
-          dist[w] = depth;
-          next.push_back(w);
-        }
-    frontier.swap(next);
-  }
-  return dist;
-}
+// The materialized-Graph instantiations every non-template consumer links
+// against (declared extern in the header).
+template LayerDecomposition bfs_layers<Graph>(const Graph&, NodeId);
+template std::vector<std::uint32_t> bfs_distances<Graph>(const Graph&, NodeId);
 
 }  // namespace radio

@@ -1,11 +1,18 @@
 // Breadth-first layer decomposition T_i(u) — the structure at the heart of
 // the paper's analysis (Lemma 3) and of both broadcasting algorithms.
+//
+// Both traversals are templated on GraphBackend (graph/backend.hpp): the
+// centralized builder runs them unchanged on the materialized Graph and on
+// the on-demand ImplicitGnp sampler. Bodies live here; Graph instantiations
+// are compiled once in bfs.cpp (extern template below).
 #pragma once
 
 #include <vector>
 
+#include "graph/backend.hpp"
 #include "graph/graph.hpp"
 #include "graph/types.hpp"
+#include "util/assert.hpp"
 
 namespace radio {
 
@@ -34,9 +41,62 @@ struct LayerDecomposition {
 };
 
 /// Standard BFS from `source`.
-LayerDecomposition bfs_layers(const Graph& g, NodeId source);
+template <GraphBackend G>
+LayerDecomposition bfs_layers(const G& g, NodeId source) {
+  RADIO_EXPECTS(source < g.num_nodes());
+  LayerDecomposition out;
+  out.source = source;
+  out.distance.assign(g.num_nodes(), kUnreachable);
+  out.parent.assign(g.num_nodes(), kInvalidNode);
+
+  out.distance[source] = 0;
+  out.layers.push_back({source});
+  // Layer-synchronous BFS: expand the frontier a full layer at a time so the
+  // layers come out for free.
+  while (true) {
+    const std::vector<NodeId>& frontier = out.layers.back();
+    std::vector<NodeId> next;
+    const auto depth = static_cast<std::uint32_t>(out.layers.size());
+    for (NodeId v : frontier) {
+      for (NodeId w : g.neighbors(v)) {
+        if (out.distance[w] == kUnreachable) {
+          out.distance[w] = depth;
+          out.parent[w] = v;
+          next.push_back(w);
+        }
+      }
+    }
+    if (next.empty()) break;
+    out.layers.push_back(std::move(next));
+  }
+  return out;
+}
 
 /// Distances only (cheaper when layers aren't needed).
-std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+template <GraphBackend G>
+std::vector<std::uint32_t> bfs_distances(const G& g, NodeId source) {
+  RADIO_EXPECTS(source < g.num_nodes());
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  dist[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (NodeId v : frontier)
+      for (NodeId w : g.neighbors(v))
+        if (dist[w] == kUnreachable) {
+          dist[w] = depth;
+          next.push_back(w);
+        }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+extern template LayerDecomposition bfs_layers<Graph>(const Graph&, NodeId);
+extern template std::vector<std::uint32_t> bfs_distances<Graph>(const Graph&,
+                                                                NodeId);
 
 }  // namespace radio

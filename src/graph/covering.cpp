@@ -219,61 +219,15 @@ std::vector<MatchPair> matching_from_minimal_cover(
   return pairs;
 }
 
-SampledCover sample_independent_cover(const Graph& g,
-                                      std::span<const NodeId> x,
-                                      std::span<const NodeId> y, double rate,
-                                      Rng& rng) {
-  RADIO_EXPECTS(rate >= 0.0 && rate <= 1.0);
-  SampledCover out;
-  Bitset sample_member(g.num_nodes());
-  for (NodeId cand : x) {
-    if (rng.bernoulli(rate)) {
-      out.sample.push_back(cand);
-      sample_member.set(cand);
-    }
-  }
-  for (NodeId target : y) {
-    std::uint32_t hits = 0;
-    for (NodeId w : g.neighbors(target)) {
-      if (sample_member.test(w) && ++hits > 1) break;
-    }
-    if (hits == 1) out.covered.push_back(target);
-  }
-  return out;
-}
-
-FullMatching private_neighbor_matching(const Graph& g,
-                                       std::span<const NodeId> x,
-                                       std::span<const NodeId> y) {
-  const Bitset x_member = make_membership(g.num_nodes(), x);
-  const Bitset y_member = make_membership(g.num_nodes(), y);
-  // x is a private neighbor candidate iff it has exactly one neighbor in Y.
-  // Each y then claims one unused private candidate.
-  FullMatching out;
-  Bitset used_x(g.num_nodes());
-  out.pairs.reserve(y.size());
-  for (NodeId target : y) {
-    NodeId informant = kInvalidNode;
-    for (NodeId w : g.neighbors(target)) {
-      if (!x_member.test(w) || used_x.test(w)) continue;
-      std::uint32_t y_neighbors = 0;
-      for (NodeId z : g.neighbors(w))
-        if (y_member.test(z) && ++y_neighbors > 1) break;
-      if (y_neighbors == 1) {
-        informant = w;
-        break;
-      }
-    }
-    if (informant == kInvalidNode) {
-      out.complete = false;
-      return out;
-    }
-    used_x.set(informant);
-    out.pairs.emplace_back(informant, target);
-  }
-  out.complete = true;
-  return out;
-}
+// The materialized-Graph instantiations of the templated constructions
+// (bodies in covering.hpp), compiled once here.
+template SampledCover sample_independent_cover<Graph>(const Graph&,
+                                                      std::span<const NodeId>,
+                                                      std::span<const NodeId>,
+                                                      double, Rng&);
+template FullMatching private_neighbor_matching<Graph>(const Graph&,
+                                                       std::span<const NodeId>,
+                                                       std::span<const NodeId>);
 
 std::vector<NodeId> greedy_independent_cover(const Graph& g,
                                              std::span<const NodeId> x,

@@ -17,7 +17,9 @@
 #include <utility>
 #include <vector>
 
+#include "graph/backend.hpp"
 #include "graph/graph.hpp"
+#include "util/assert.hpp"
 #include "util/bitset.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +27,10 @@ namespace radio {
 
 /// A matched pair: x ∈ X informs y ∈ Y.
 using MatchPair = std::pair<NodeId, NodeId>;
+
+/// Membership bitset over g's nodes for a node list (declared ahead of the
+/// templated constructions below, which need it visible at definition).
+Bitset make_membership(NodeId num_nodes, std::span<const NodeId> nodes);
 
 // ---------------------------------------------------------------------------
 // Verifiers (used by tests and by the E6 experiment as ground truth).
@@ -73,9 +79,31 @@ struct SampledCover {
   std::vector<NodeId> sample;   ///< S ⊆ X
   std::vector<NodeId> covered;  ///< y ∈ Y with exactly one neighbor in S
 };
-SampledCover sample_independent_cover(const Graph& g, std::span<const NodeId> x,
+/// Templated on GraphBackend: the centralized builder's mop-up runs this on
+/// both the materialized Graph and the on-demand ImplicitGnp sampler. One
+/// bernoulli(rate) draw per candidate, in x order, regardless of backend.
+template <GraphBackend G>
+SampledCover sample_independent_cover(const G& g, std::span<const NodeId> x,
                                       std::span<const NodeId> y, double rate,
-                                      Rng& rng);
+                                      Rng& rng) {
+  RADIO_EXPECTS(rate >= 0.0 && rate <= 1.0);
+  SampledCover out;
+  Bitset sample_member(g.num_nodes());
+  for (NodeId cand : x) {
+    if (rng.bernoulli(rate)) {
+      out.sample.push_back(cand);
+      sample_member.set(cand);
+    }
+  }
+  for (NodeId target : y) {
+    std::uint32_t hits = 0;
+    for (NodeId w : g.neighbors(target)) {
+      if (sample_member.test(w) && ++hits > 1) break;
+    }
+    if (hits == 1) out.covered.push_back(target);
+  }
+  return out;
+}
 
 /// Lemma 4 (second statement) construction: an independent matching that
 /// matches EVERY y ∈ Y, built by giving each y a private neighbor — an
@@ -86,9 +114,40 @@ struct FullMatching {
   bool complete = false;
   std::vector<MatchPair> pairs;  ///< one per y when complete
 };
-FullMatching private_neighbor_matching(const Graph& g,
-                                       std::span<const NodeId> x,
-                                       std::span<const NodeId> y);
+/// Templated on GraphBackend (used by the builder's phase-3 mop-up on every
+/// backend; deterministic, draws nothing).
+template <GraphBackend G>
+FullMatching private_neighbor_matching(const G& g, std::span<const NodeId> x,
+                                       std::span<const NodeId> y) {
+  const Bitset x_member = make_membership(g.num_nodes(), x);
+  const Bitset y_member = make_membership(g.num_nodes(), y);
+  // x is a private neighbor candidate iff it has exactly one neighbor in Y.
+  // Each y then claims one unused private candidate.
+  FullMatching out;
+  Bitset used_x(g.num_nodes());
+  out.pairs.reserve(y.size());
+  for (NodeId target : y) {
+    NodeId informant = kInvalidNode;
+    for (NodeId w : g.neighbors(target)) {
+      if (!x_member.test(w) || used_x.test(w)) continue;
+      std::uint32_t y_neighbors = 0;
+      for (NodeId z : g.neighbors(w))
+        if (y_member.test(z) && ++y_neighbors > 1) break;
+      if (y_neighbors == 1) {
+        informant = w;
+        break;
+      }
+    }
+    if (informant == kInvalidNode) {
+      out.complete = false;
+      return out;
+    }
+    used_x.set(informant);
+    out.pairs.emplace_back(informant, target);
+  }
+  out.complete = true;
+  return out;
+}
 
 /// Deterministic independent cover of ALL of Y from candidates X (used by
 /// Theorem 5's mop-up phase): greedily selects transmitters so every y ends
@@ -102,9 +161,6 @@ std::vector<NodeId> greedy_independent_cover(const Graph& g,
 // ---------------------------------------------------------------------------
 // Helpers shared with the simulator.
 // ---------------------------------------------------------------------------
-
-/// Membership bitset over g's nodes for a node list.
-Bitset make_membership(NodeId num_nodes, std::span<const NodeId> nodes);
 
 /// For every y in `targets`, counts neighbors inside `set` (given as a
 /// membership bitset); returns counts aligned with `targets`.

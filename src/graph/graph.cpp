@@ -1,8 +1,10 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/assert.hpp"
+#include "util/bitset.hpp"
 
 namespace radio {
 
@@ -56,6 +58,38 @@ Graph Graph::from_csr(std::vector<EdgeCount> offsets, std::vector<NodeId> adj) {
   Graph g;
   g.offsets_ = std::move(offsets);
   g.adj_ = std::move(adj);
+  return g;
+}
+
+Graph Graph::from_bitmap(NodeId n, std::vector<std::uint64_t> words) {
+  const std::size_t wpr = (static_cast<std::size_t>(n) + 63) / 64;
+  RADIO_EXPECTS(words.size() == static_cast<std::size_t>(n) * wpr);
+  std::vector<EdgeCount> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t* row = words.data() + static_cast<std::size_t>(v) * wpr;
+    EdgeCount deg = 0;
+    for (std::size_t k = 0; k < wpr; ++k)
+      deg += static_cast<EdgeCount>(std::popcount(row[k]));
+    offsets[v + 1] = offsets[v] + deg;
+  }
+  std::vector<NodeId> adj(static_cast<std::size_t>(offsets[n]));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint64_t* row = words.data() + static_cast<std::size_t>(v) * wpr;
+    NodeId* out = adj.data() + offsets[v];
+    for (std::size_t k = 0; k < wpr; ++k)
+      for_each_set_bit(row[k], k * 64, [&](std::size_t w) {
+        RADIO_EXPECTS(w != v);  // diagonal bit == self-loop
+        *out++ = static_cast<NodeId>(w);
+      });
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  // Install the bitmap as the already-built adjacency cache: store the words
+  // first, then fire the once_flag with a no-op so later adjacency_bitmap()
+  // calls see a satisfied cache.
+  g.bitmap_cache_->words = std::move(words);
+  std::call_once(g.bitmap_cache_->once, [] {});
   return g;
 }
 

@@ -36,6 +36,14 @@ class Graph {
   /// path for generators that already produce both directions).
   static Graph from_csr(std::vector<EdgeCount> offsets, std::vector<NodeId> adj);
 
+  /// Builds from a symmetric n × ⌈n/64⌉ adjacency bitmap (bit w of row v set
+  /// iff {v, w} is an edge; no diagonal bits, tail bits ≥ n clear). The CSR
+  /// arrays are decoded from the rows — bits come out ascending, so no sort —
+  /// and the bitmap itself is installed as the pre-built adjacency cache,
+  /// making the dense-round kernel free for graphs born dense
+  /// (generate_gnp_bitmap). Requires words.size() == n · ⌈n/64⌉.
+  static Graph from_bitmap(NodeId n, std::vector<std::uint64_t> words);
+
   NodeId num_nodes() const noexcept {
     return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
   }

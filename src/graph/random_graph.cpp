@@ -5,43 +5,24 @@
 
 #include "graph/components.hpp"
 #include "util/assert.hpp"
+#include "util/bitset.hpp"
 
 namespace radio {
 namespace {
 
-/// Batagelj–Brandes skip sampling: emits each pair (u < v) independently with
-/// probability p in O(n + m) time by drawing geometric skips over the
-/// linearized lower triangle (v outer, u inner).
-std::vector<Edge> sample_sparse_edges(NodeId n, double p, Rng& rng) {
-  std::vector<Edge> edges;
-  if (p <= 0.0 || n < 2) return edges;
-  edges.reserve(static_cast<std::size_t>(
-      0.5 * p * static_cast<double>(n) * static_cast<double>(n - 1) * 1.1));
-  std::uint64_t v = 1;
-  std::int64_t w = -1;
-  const auto total_pairs =
-      static_cast<std::uint64_t>(n) * (static_cast<std::uint64_t>(n) - 1) / 2;
-  std::uint64_t consumed = 0;
-  while (v < n) {
-    const std::uint64_t skip = rng.geometric_skips(p);
-    if (skip >= total_pairs - consumed) break;  // skipped past the last pair
-    consumed += skip + 1;
-    w += static_cast<std::int64_t>(skip) + 1;
-    while (w >= static_cast<std::int64_t>(v)) {
-      w -= static_cast<std::int64_t>(v);
-      ++v;
-      if (v >= n) return edges;
-    }
-    edges.push_back(Edge{static_cast<NodeId>(w), static_cast<NodeId>(v)});
-  }
-  return edges;
+/// T(v) = v(v-1)/2, the linear index of pair (0, v). v ≤ 2^32 keeps the
+/// product below 2^64.
+constexpr std::uint64_t triangle_start(std::uint64_t v) noexcept {
+  return v * (v - 1) / 2;
 }
 
-/// Dense-regime sampler: draws the complement at rate 1-p, then emits every
-/// pair not in the complement. O(n^2) — only used when p > 1/2, where the
-/// output itself is Θ(n^2).
-Graph sample_dense_gnp(NodeId n, double p, Rng& rng) {
-  const std::vector<Edge> non_edges = sample_sparse_edges(n, 1.0 - p, rng);
+/// Dense-regime sampler used when the adjacency bitmap would NOT fit
+/// (n ≳ 92k with p > 1/2 — a Θ(n²)-edge output that is enormous either
+/// way): draws the complement at rate 1-p, then emits every pair not in the
+/// complement. Kept verbatim from the original implementation so the draw
+/// sequence (and therefore every historical instance) is unchanged.
+Graph sample_dense_gnp_setfallback(NodeId n, double p, Rng& rng) {
+  const std::vector<Edge> non_edges = sample_gnp_edges(n, 1.0 - p, rng);
   std::unordered_set<std::uint64_t> excluded;
   excluded.reserve(non_edges.size() * 2);
   for (const Edge& e : non_edges)
@@ -57,13 +38,157 @@ Graph sample_dense_gnp(NodeId n, double p, Rng& rng) {
   return Graph::from_edges(n, edges);
 }
 
+/// Dense-regime sampler when the bitmap fits: same complement draw sequence
+/// as the set-based path (identical instances for identical seeds), but the
+/// complement is cleared out of an all-ones symmetric bitmap and the Graph
+/// is decoded from it — no unordered_set, no O(n²) probe loop, no edge-list
+/// sort.
+Graph sample_dense_gnp_bitmap(NodeId n, double p, Rng& rng) {
+  const std::vector<Edge> non_edges = sample_gnp_edges(n, 1.0 - p, rng);
+  const std::size_t wpr = words_for_bits(n);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n) * wpr,
+                                   ~std::uint64_t{0});
+  // Clear the diagonal, the tail bits ≥ n of every row, then both mirrored
+  // bits of every complement pair.
+  const std::uint64_t tail_mask =
+      (n & 63) ? (std::uint64_t{1} << (n & 63)) - 1 : ~std::uint64_t{0};
+  for (NodeId v = 0; v < n; ++v) {
+    std::uint64_t* row = words.data() + static_cast<std::size_t>(v) * wpr;
+    row[wpr - 1] &= tail_mask;
+    row[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  }
+  for (const Edge& e : non_edges) {
+    words[static_cast<std::size_t>(e.u) * wpr + (e.v >> 6)] &=
+        ~(std::uint64_t{1} << (e.v & 63));
+    words[static_cast<std::size_t>(e.v) * wpr + (e.u >> 6)] &=
+        ~(std::uint64_t{1} << (e.u & 63));
+  }
+  return Graph::from_bitmap(n, std::move(words));
+}
+
 }  // namespace
+
+Edge pair_from_linear_index(std::uint64_t idx) noexcept {
+  // v ≈ (1 + sqrt(1 + 8·idx)) / 2. 8·idx can reach ~7.4e19 > 2^64, so the
+  // radicand lives in long double (64-bit mantissa ⇒ the error is a few
+  // ulps); the integer walk below absorbs the rounding either way.
+  const long double x = static_cast<long double>(idx);
+  auto v = static_cast<std::uint64_t>((1.0L + sqrtl(1.0L + 8.0L * x)) * 0.5L);
+  if (v < 1) v = 1;
+  while (v > 1 && triangle_start(v) > idx) --v;
+  while (triangle_start(v + 1) <= idx) ++v;
+  return Edge{static_cast<NodeId>(idx - triangle_start(v)),
+              static_cast<NodeId>(v)};
+}
+
+std::vector<Edge> sample_gnp_edges(NodeId n, double p, Rng& rng) {
+  std::vector<Edge> edges;
+  if (p <= 0.0 || n < 2) return edges;
+  edges.reserve(static_cast<std::size_t>(
+      0.5 * p * static_cast<double>(n) * static_cast<double>(n - 1) * 1.1));
+  const std::uint64_t total_pairs = triangle_start(n);
+  // Batagelj–Brandes walk in pure uint64 index space. `idx` is the next
+  // candidate pair; the guard compares each skip against the REMAINING pair
+  // budget before any addition, so idx never exceeds total_pairs and the
+  // clamped ~9e18 skips of the tiny-p / near-cap-n regime cannot wrap
+  // (total_pairs < 2^63 for every legal n, so total_pairs - idx never
+  // underflows either). One geometric draw per emitted edge plus one final
+  // overshooting draw — the same sequence as the historical int64 walk.
+  std::uint64_t idx = 0;
+  std::uint64_t row = 1;              // row of the current candidate pair
+  std::uint64_t row_start = 0;        // triangle_start(row)
+  while (true) {
+    const std::uint64_t skip = rng.geometric_skips(p);
+    if (skip >= total_pairs - idx) break;  // skipped past the last pair
+    idx += skip;
+    if (idx - row_start >= row) {
+      // Left the current row. Consecutive edges usually land a handful of
+      // rows ahead, so walk forward a bounded number of steps; a giant skip
+      // (tiny p at giant n) falls through to the O(1) sqrt decode instead of
+      // the O(n) row walk the old implementation performed.
+      int steps = 0;
+      while (idx - row_start >= row && steps < 64) {
+        row_start += row;
+        ++row;
+        ++steps;
+      }
+      if (idx - row_start >= row) {
+        const Edge e = pair_from_linear_index(idx);
+        row = e.v;
+        row_start = triangle_start(row);
+      }
+    }
+    edges.push_back(Edge{static_cast<NodeId>(idx - row_start),
+                         static_cast<NodeId>(row)});
+    ++idx;
+  }
+  return edges;
+}
 
 Graph generate_gnp(const GnpParams& params, Rng& rng) {
   RADIO_EXPECTS(params.p >= 0.0 && params.p <= 1.0);
-  if (params.p > 0.5) return sample_dense_gnp(params.n, params.p, rng);
-  const std::vector<Edge> edges = sample_sparse_edges(params.n, params.p, rng);
+  if (params.p > 0.5) {
+    const std::size_t bitmap_bytes = static_cast<std::size_t>(params.n) *
+                                     words_for_bits(params.n) *
+                                     sizeof(std::uint64_t);
+    return bitmap_bytes <= kGnpBitmapByteLimit
+               ? sample_dense_gnp_bitmap(params.n, params.p, rng)
+               : sample_dense_gnp_setfallback(params.n, params.p, rng);
+  }
+  const std::vector<Edge> edges = sample_gnp_edges(params.n, params.p, rng);
   return Graph::from_edges(params.n, edges);
+}
+
+Graph generate_gnp_bitmap(const GnpParams& params, Rng& rng) {
+  RADIO_EXPECTS(params.p >= 0.0 && params.p <= 1.0);
+  const NodeId n = params.n;
+  const std::size_t wpr = words_for_bits(n);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n) * wpr, 0);
+  BernoulliWordGen gen(params.p, rng);
+  // Draw the strict lower triangle row by row (row v holds columns < v),
+  // then mirror each bit into the upper triangle. Draw order is
+  // deterministic and independent of any later query order.
+  for (NodeId v = 1; v < n; ++v) {
+    std::uint64_t* row = words.data() + static_cast<std::size_t>(v) * wpr;
+    const std::size_t row_words = words_for_bits(v);
+    for (std::size_t k = 0; k < row_words; ++k) {
+      std::uint64_t w = gen.next_word();
+      if (k + 1 == row_words && (v & 63) != 0)
+        w &= (std::uint64_t{1} << (v & 63)) - 1;
+      row[k] = w;
+    }
+    for (std::size_t k = 0; k < row_words; ++k) {
+      for_each_set_bit(row[k], k * 64, [&](std::size_t u) {
+        words[u * wpr + (v >> 6)] |= std::uint64_t{1} << (v & 63);
+      });
+    }
+  }
+  return Graph::from_bitmap(n, std::move(words));
+}
+
+Graph generate_gnp_backend(const GnpParams& params, Rng& rng,
+                           GraphBackendChoice choice) {
+  const std::size_t bitmap_bytes = static_cast<std::size_t>(params.n) *
+                                   words_for_bits(params.n) *
+                                   sizeof(std::uint64_t);
+  const bool bitmap_fits = bitmap_bytes <= kGnpBitmapByteLimit;
+  switch (choice) {
+    case GraphBackendChoice::kCsr:
+      return generate_gnp(params, rng);
+    case GraphBackendChoice::kBitmap:
+      return bitmap_fits ? generate_gnp_bitmap(params, rng)
+                         : generate_gnp(params, rng);
+    case GraphBackendChoice::kAuto:
+    case GraphBackendChoice::kImplicit:
+      break;
+  }
+  // Cost model: word-parallel generation moves ⌈n/64⌉ words per row at ~0.1
+  // draws per pair; skip sampling pays one geometric (log) per edge plus an
+  // O(m log m) edge sort. At p ≥ 1/64 (≥ 1 expected edge per word) the
+  // bitmap wins decisively and costs at most ~2× the CSR's own memory.
+  return (bitmap_fits && params.p >= 1.0 / 64.0)
+             ? generate_gnp_bitmap(params, rng)
+             : generate_gnp(params, rng);
 }
 
 Graph generate_gnm(NodeId n, EdgeCount m, Rng& rng) {

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
+#include "graph/backend.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -32,8 +34,62 @@ struct GnpParams {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Linearized lower-triangle pair indexing. The Batagelj–Brandes walk and its
+// giant-n regression tests address unordered pairs (u < v) by one uint64:
+// pairs are ordered (0,1),(0,2),(1,2),(0,3),… so index(u,v) = v(v-1)/2 + u.
+// All arithmetic stays in uint64 — valid for every n up to the 0xFFFFFFFE
+// node cap, where the pair count n(n-1)/2 ≈ 9.2e18 still fits below 2^63.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t pair_linear_index(NodeId u, NodeId v) noexcept {
+  return static_cast<std::uint64_t>(v) * (static_cast<std::uint64_t>(v) - 1) /
+             2 +
+         static_cast<std::uint64_t>(u);
+}
+
+/// Inverse of pair_linear_index in O(1): a long-double sqrt (64-bit mantissa,
+/// exact for idx < 2^63 up to ±a few ulps) plus an integer correction walk.
+/// Requires idx < n(n-1)/2 for the caller's intended n.
+Edge pair_from_linear_index(std::uint64_t idx) noexcept;
+
+/// The raw Batagelj–Brandes geometric-skip sampler over the lower triangle:
+/// each pair (u < v) is kept independently with probability p; O(n + m)
+/// draws. This is generate_gnp's p ≤ 1/2 workhorse, exposed so the giant-n
+/// overflow regression tests can exercise it at n near the 0xFFFFFFFE cap
+/// without materializing a Graph (whose offsets array alone would be 34 GB).
+/// The skip walk is unchecked uint64 arithmetic throughout: every addition
+/// is guarded against the remaining pair budget BEFORE it happens, so
+/// neither a clamped ~9e18 skip nor the final ++ past the last pair can
+/// wrap (the previous int64 walk was UB in exactly that regime).
+std::vector<Edge> sample_gnp_edges(NodeId n, double p, Rng& rng);
+
 /// Samples G(n,p). Requires 0 <= p <= 1.
 Graph generate_gnp(const GnpParams& params, Rng& rng);
+
+/// Adjacency bitmaps cost n·⌈n/64⌉·8 bytes; generate_gnp_backend's auto
+/// path never builds one above this cap (mirrors the dense-round kernel's
+/// kDenseBitmapByteLimit: ≈1 GiB ⇒ n ≲ 92k).
+inline constexpr std::size_t kGnpBitmapByteLimit = std::size_t{1} << 30;
+
+/// Dense-regime generator: fills a symmetric adjacency bitmap with exact
+/// Bernoulli(p) words (util/rng.hpp BernoulliWordGen — ~0.1 draws per pair
+/// instead of one geometric per edge) and builds the Graph from it with no
+/// edge-list sort. Identical distribution to generate_gnp but a DIFFERENT
+/// draw sequence, so same-seed instances differ between the two generators.
+/// Requires the bitmap to fit (n·⌈n/64⌉·8 bytes; callers gate on
+/// kGnpBitmapByteLimit).
+Graph generate_gnp_bitmap(const GnpParams& params, Rng& rng);
+
+/// Backend-selected generation: kCsr pins the legacy skip-sampling path
+/// (byte-stable draw sequence), kBitmap pins the word-parallel bitmap
+/// generator (falling back to CSR when the bitmap would not fit), kAuto
+/// applies the cost model — bitmap when it fits and p ≥ 1/64 (one expected
+/// edge per word, where word-parallel generation clearly beats skip+sort).
+/// kImplicit is handled by callers that can hold an ImplicitGnp; here it
+/// selects like kAuto so materialized-only drivers degrade gracefully.
+Graph generate_gnp_backend(const GnpParams& params, Rng& rng,
+                           GraphBackendChoice choice);
 
 /// Samples G(n,m): exactly m distinct edges uniformly at random among all
 /// simple graphs with m edges. Requires m <= n(n-1)/2.

@@ -17,6 +17,7 @@ void clear_radio_env() {
   ::unsetenv("RADIO_FULL");
   ::unsetenv("RADIO_CSV_DIR");
   ::unsetenv("RADIO_BATCH");
+  ::unsetenv("RADIO_GRAPH_BACKEND");
 }
 
 class BenchCliTest : public ::testing::Test {
@@ -234,6 +235,53 @@ TEST_F(BenchCliTest, RejectsMalformedBatchValues) {
   ::setenv("RADIO_BATCH", "0", 1);
   EXPECT_THROW(config_for_run(command, "E7"), std::runtime_error);
   ::unsetenv("RADIO_BATCH");
+}
+
+TEST_F(BenchCliTest, GraphBackendFlagLayersLikeEveryOtherFlag) {
+  // Defaults < RADIO_GRAPH_BACKEND < --graph-backend.
+  const BenchCommand bare = parse_bench_command({"run", "E2"});
+  EXPECT_EQ(config_for_run(bare, "E2").graph_backend,
+            GraphBackendChoice::kAuto);
+
+  ::setenv("RADIO_GRAPH_BACKEND", "bitmap", 1);
+  EXPECT_EQ(config_for_run(bare, "E2").graph_backend,
+            GraphBackendChoice::kBitmap);
+
+  const BenchCommand flagged =
+      parse_bench_command({"run", "E2", "--graph-backend", "implicit"});
+  EXPECT_EQ(config_for_run(flagged, "E2").graph_backend,
+            GraphBackendChoice::kImplicit);
+  ::unsetenv("RADIO_GRAPH_BACKEND");
+
+  EXPECT_EQ(*parse_bench_command({"run", "E2", "--graph-backend=csr"})
+                 .graph_backend,
+            GraphBackendChoice::kCsr);
+}
+
+TEST_F(BenchCliTest, RejectsMalformedGraphBackendValues) {
+  // Backend names parse strictly: junk, case variants and trailing
+  // characters are diagnostics naming the flag, never a silent default.
+  for (const char* bad : {"banana", "AUTO", "csr ", "implicit7", ""}) {
+    try {
+      parse_bench_command(
+          {"run", "E2", std::string("--graph-backend=") + bad});
+      FAIL() << "--graph-backend=" << bad << " should be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("--graph-backend"),
+                std::string::npos);
+    }
+  }
+  const BenchCommand command = parse_bench_command({"run", "E2"});
+  ::setenv("RADIO_GRAPH_BACKEND", "dense", 1);
+  try {
+    config_for_run(command, "E2");
+    FAIL() << "RADIO_GRAPH_BACKEND=dense should be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("RADIO_GRAPH_BACKEND"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'dense'"), std::string::npos);
+  }
+  ::unsetenv("RADIO_GRAPH_BACKEND");
 }
 
 TEST_F(BenchCliTest, LowercaseIdHelper) {

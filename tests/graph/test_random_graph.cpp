@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
 
 #include "graph/components.hpp"
 #include "graph/degree.hpp"
@@ -196,6 +199,225 @@ TEST_P(GnpSweep, EdgeCountWithinSixSigma) {
 INSTANTIATE_TEST_SUITE_P(Probabilities, GnpSweep,
                          ::testing::Values(0.001, 0.01, 0.05, 0.2, 0.5, 0.51,
                                            0.8, 0.95, 0.999));
+
+// ---------------------------------------------------------------------------
+// Linearized lower-triangle pair indexing (the skip sampler's coordinates).
+// ---------------------------------------------------------------------------
+
+TEST(PairIndex, PinnedSmallValues) {
+  // Pair order: (0,1), (0,2), (1,2), (0,3), (1,3), (2,3), ...
+  EXPECT_EQ(pair_linear_index(0, 1), 0u);
+  EXPECT_EQ(pair_linear_index(0, 2), 1u);
+  EXPECT_EQ(pair_linear_index(1, 2), 2u);
+  EXPECT_EQ(pair_linear_index(2, 3), 5u);
+  const Edge e0 = pair_from_linear_index(0);
+  EXPECT_EQ(e0.u, 0u);
+  EXPECT_EQ(e0.v, 1u);
+  const Edge e1 = pair_from_linear_index(1);
+  EXPECT_EQ(e1.u, 0u);
+  EXPECT_EQ(e1.v, 2u);
+  const Edge e2 = pair_from_linear_index(2);
+  EXPECT_EQ(e2.u, 1u);
+  EXPECT_EQ(e2.v, 2u);
+  const Edge e5 = pair_from_linear_index(5);
+  EXPECT_EQ(e5.u, 2u);
+  EXPECT_EQ(e5.v, 3u);
+}
+
+TEST(PairIndex, RoundTripsExhaustivelyForSmallN) {
+  std::uint64_t idx = 0;
+  for (NodeId v = 1; v < 200; ++v) {
+    for (NodeId u = 0; u < v; ++u, ++idx) {
+      EXPECT_EQ(pair_linear_index(u, v), idx);
+      const Edge e = pair_from_linear_index(idx);
+      EXPECT_EQ(e.u, u);
+      EXPECT_EQ(e.v, v);
+    }
+  }
+}
+
+TEST(PairIndex, RoundTripsAtNearCapBoundaries) {
+  // The long-double sqrt decode must stay exact (after the correction walk)
+  // up to the last pair of the largest supported graph. Probe row starts,
+  // row ends and mid-row points of huge rows.
+  const NodeId cap = 0xFFFFFFFE;
+  for (const NodeId v : {NodeId{3}, NodeId{65536}, NodeId{1u << 30},
+                         static_cast<NodeId>(cap - 1)}) {
+    const std::uint64_t start =
+        static_cast<std::uint64_t>(v) * (v - 1) / 2;
+    for (const std::uint64_t idx :
+         {start, start + v / 2, start + v - 1}) {
+      const Edge e = pair_from_linear_index(idx);
+      EXPECT_EQ(e.v, v) << "idx=" << idx;
+      EXPECT_EQ(pair_linear_index(e.u, e.v), idx);
+      EXPECT_LT(e.u, e.v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overflow regression: the skip walk at the node cap. The legacy sampler
+// accumulated clamped ~9e18 skips into a SIGNED 64-bit pair index —
+// undefined behaviour on wrap, and near n = 0xFFFFFFFE the total pair count
+// 2^63 - 2^32 sits within one clamped skip of the signed edge. The rewritten
+// walk guards against running off total_pairs before any addition, in pure
+// uint64 arithmetic. These run under UBSan in the sanitizer CI stage.
+// ---------------------------------------------------------------------------
+
+TEST(GnpOverflow, NearCapTinyPStaysInRange) {
+  const NodeId n = 0xFFFFFFFE;  // largest supported node count
+  Rng rng(71);
+  // ~9.2e18 pairs * 1e-14 ~= 92k edges: big enough to exercise many skips,
+  // small enough to hold the edge list (a Graph's offsets alone would not
+  // fit in test memory at this n).
+  const std::vector<Edge> edges = sample_gnp_edges(n, 1e-14, rng);
+  const double expected = 1e-14 * 0.5 * static_cast<double>(n) *
+                          (static_cast<double>(n) - 1.0);
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected,
+              6.0 * std::sqrt(expected));
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (const Edge& e : edges) {
+    ASSERT_LT(e.u, e.v);
+    ASSERT_LT(e.v, n);
+    const std::uint64_t idx = pair_linear_index(e.u, e.v);
+    if (!first) ASSERT_GT(idx, prev);  // strictly increasing, no wraparound
+    prev = idx;
+    first = false;
+  }
+}
+
+TEST(GnpOverflow, NearCapClampedSkipTerminates) {
+  // p = 1e-19 makes every geometric skip hit the 9e18 clamp — comparable to
+  // the total pair count, the regime where the signed accumulator used to
+  // wrap. The walk must terminate with a handful of valid edges.
+  const NodeId n = 0xFFFFFFFE;
+  Rng rng(72);
+  const std::vector<Edge> edges = sample_gnp_edges(n, 1e-19, rng);
+  EXPECT_LE(edges.size(), 64u);
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, n);
+  }
+}
+
+TEST(GnpOverflow, NearCapDeterministic) {
+  const NodeId n = 0xFFFFFFFE;
+  Rng a(73), b(73);
+  const std::vector<Edge> e1 = sample_gnp_edges(n, 1e-14, a);
+  const std::vector<Edge> e2 = sample_gnp_edges(n, 1e-14, b);
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].u, e2[i].u);
+    EXPECT_EQ(e1[i].v, e2[i].v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Word-parallel bitmap generation and the backend dispatcher.
+// ---------------------------------------------------------------------------
+
+TEST(GnpBitmap, EdgeCountConcentrates) {
+  Rng rng(30);
+  const NodeId n = 600;
+  const double p = 0.3;
+  const Graph g = generate_gnp_bitmap({n, p}, rng);
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), p * pairs,
+              6.0 * std::sqrt(pairs * p * (1.0 - p)));
+}
+
+TEST(GnpBitmap, ProducesSimpleSymmetricGraph) {
+  Rng rng(31);
+  const Graph g = generate_gnp_bitmap({257, 0.2}, rng);  // non-multiple of 64
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      EXPECT_TRUE(g.has_edge(nbrs[i], v));  // symmetry
+    }
+  }
+}
+
+TEST(GnpBitmap, EdgeCases) {
+  Rng rng(32);
+  const Graph empty = generate_gnp_bitmap({100, 0.0}, rng);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const Graph complete = generate_gnp_bitmap({40, 1.0}, rng);
+  EXPECT_EQ(complete.num_edges(), 40u * 39u / 2u);
+  const Graph g0 = generate_gnp_bitmap({0, 0.5}, rng);
+  EXPECT_EQ(g0.num_nodes(), 0u);
+  const Graph g1 = generate_gnp_bitmap({1, 0.5}, rng);
+  EXPECT_EQ(g1.num_edges(), 0u);
+  const Graph g2 = generate_gnp_bitmap({2, 1.0}, rng);
+  EXPECT_EQ(g2.num_edges(), 1u);
+}
+
+TEST(GnpBitmap, DeterministicForFixedSeed) {
+  Rng a(33), b(33);
+  const Graph g1 = generate_gnp_bitmap({500, 0.25}, a);
+  const Graph g2 = generate_gnp_bitmap({500, 0.25}, b);
+  EXPECT_EQ(g1.edge_list(), g2.edge_list());
+}
+
+TEST(GnpBackend, CsrChoiceMatchesLegacyGenerator) {
+  Rng a(34), b(34);
+  const GnpParams params{800, 0.03};
+  const Graph legacy = generate_gnp(params, a);
+  const Graph csr = generate_gnp_backend(params, b, GraphBackendChoice::kCsr);
+  EXPECT_EQ(legacy.edge_list(), csr.edge_list());
+}
+
+class GnpBackendSweep
+    : public ::testing::TestWithParam<std::tuple<GraphBackendChoice, double>> {
+};
+
+TEST_P(GnpBackendSweep, SimpleGraphWithConcentratedEdgeCount) {
+  const auto [choice, p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 1e6) + 35);
+  const NodeId n = 500;
+  const Graph g = generate_gnp_backend({n, p}, rng, choice);
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), p * pairs,
+              6.0 * std::sqrt(pairs * p * (1.0 - p)) + 1.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_NE(nbrs[i], v);
+      if (i > 0) EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChoicesAndDensities, GnpBackendSweep,
+    ::testing::Combine(::testing::Values(GraphBackendChoice::kAuto,
+                                         GraphBackendChoice::kCsr,
+                                         GraphBackendChoice::kBitmap,
+                                         GraphBackendChoice::kImplicit),
+                       ::testing::Values(0.005, 0.05, 0.49, 0.51, 0.9)));
+
+TEST(GraphBackendName, StrictParse) {
+  EXPECT_EQ(graph_backend_from_name("auto"), GraphBackendChoice::kAuto);
+  EXPECT_EQ(graph_backend_from_name("csr"), GraphBackendChoice::kCsr);
+  EXPECT_EQ(graph_backend_from_name("bitmap"), GraphBackendChoice::kBitmap);
+  EXPECT_EQ(graph_backend_from_name("implicit"),
+            GraphBackendChoice::kImplicit);
+  EXPECT_FALSE(graph_backend_from_name(""));
+  EXPECT_FALSE(graph_backend_from_name("AUTO"));
+  EXPECT_FALSE(graph_backend_from_name("csr "));
+  EXPECT_FALSE(graph_backend_from_name("dense"));
+  EXPECT_FALSE(graph_backend_from_name("implicit7"));
+}
+
+TEST(GraphBackendName, RoundTripsToString) {
+  for (const GraphBackendChoice c :
+       {GraphBackendChoice::kAuto, GraphBackendChoice::kCsr,
+        GraphBackendChoice::kBitmap, GraphBackendChoice::kImplicit}) {
+    EXPECT_EQ(graph_backend_from_name(to_string(c)), c);
+  }
+}
 
 }  // namespace
 }  // namespace radio

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -255,6 +256,49 @@ TEST_P(UniformBelowSweep, InRangeAndCoversEndpoints) {
 
 INSTANTIATE_TEST_SUITE_P(Bounds, UniformBelowSweep,
                          ::testing::Values(2, 3, 7, 64, 100, 1023));
+
+TEST(BernoulliWordGen, DegenerateProbabilitiesDrawNothing) {
+  Rng a(40), untouched(40);
+  BernoulliWordGen zero(0.0, a);
+  EXPECT_EQ(zero.next_word(), 0u);
+  BernoulliWordGen one(1.0, a);
+  EXPECT_EQ(one.next_word(), ~std::uint64_t{0});
+  // Neither call may have consumed RNG state.
+  EXPECT_EQ(a(), untouched());
+}
+
+TEST(BernoulliWordGen, HalfIsExactlyOneDraw) {
+  // p = 0.5 has the single binary digit 1: the word is decided by one draw
+  // (bit set iff the draw's bit is 0 — "digit wins the undecided lane").
+  Rng a(41), b(41);
+  BernoulliWordGen gen(0.5, a);
+  EXPECT_EQ(gen.next_word(), ~b());
+  EXPECT_EQ(a(), b());  // exactly one draw was consumed
+}
+
+TEST(BernoulliWordGen, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  BernoulliWordGen ga(0.3, a), gb(0.3, b);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ga.next_word(), gb.next_word());
+}
+
+class BernoulliWordSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BernoulliWordSweep, BitDensityMatchesProbability) {
+  const double p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p * 1e9) + 43);
+  BernoulliWordGen gen(p, rng);
+  const int words = 4000;
+  const double bits = 64.0 * words;
+  double ones = 0;
+  for (int i = 0; i < words; ++i)
+    ones += static_cast<double>(std::popcount(gen.next_word()));
+  EXPECT_NEAR(ones, p * bits, 6.0 * std::sqrt(bits * p * (1.0 - p)) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, BernoulliWordSweep,
+                         ::testing::Values(0.01, 0.1, 0.25, 1.0 / 3.0, 0.5,
+                                           0.75, 0.9, 0.99));
 
 }  // namespace
 }  // namespace radio
