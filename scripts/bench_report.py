@@ -40,7 +40,7 @@ import pathlib
 import sys
 
 SCHEMA_VERSION = 1
-EXPECTED_IDS = [f"E{i}" for i in range(1, 16)]
+EXPECTED_IDS = [f"E{i}" for i in range(1, 19)]
 REQUIRED_KEYS = (
     "schema_version",
     "id",
@@ -78,12 +78,35 @@ def load_manifests(out_dir: pathlib.Path) -> dict[str, dict]:
     return manifests
 
 
-def check(manifests: dict[str, dict]) -> None:
-    """The CI smoke gate: all 15 experiments present with populated tables."""
-    missing = [eid for eid in EXPECTED_IDS if eid not in manifests]
+def check_throughput_gate(doc: dict) -> None:
+    """E16's acceptance gate: a row the stability sweep marks stable claims
+    the pipeline sustained that arrival rate, so its rate must sit at or
+    below the GHK O(1/log n) reference — a stable row above the bound would
+    contradict the impossibility result the sweep is checked against."""
+    columns = doc["table"]["columns"]
+    try:
+        rate_col = columns.index("rate")
+        bound_col = columns.index("ghk_bound")
+        stable_col = columns.index("stable")
+    except ValueError as err:
+        raise SystemExit(f"error: E16 table is missing a column: {err}")
+    for i, row in enumerate(doc["table"]["rows"]):
+        if row[stable_col] != "yes":
+            continue
+        rate, bound = float(row[rate_col]), float(row[bound_col])
+        if rate > bound + 1e-9:
+            raise SystemExit(
+                f"error: E16 row {i} is stable at rate {rate} above the"
+                f" GHK bound {bound}")
+
+
+def check(manifests: dict[str, dict], expected_ids: list[str]) -> None:
+    """The CI smoke gate: expected experiments present, populated tables,
+    and E16's stability sweep consistent with the GHK bound."""
+    missing = [eid for eid in expected_ids if eid not in manifests]
     if missing:
         raise SystemExit(f"error: manifests missing experiments {missing}")
-    extra = [eid for eid in manifests if eid not in EXPECTED_IDS]
+    extra = [eid for eid in manifests if eid not in expected_ids]
     if extra:
         raise SystemExit(f"error: unexpected experiment ids {extra}")
     for eid, doc in manifests.items():
@@ -91,6 +114,8 @@ def check(manifests: dict[str, dict]) -> None:
             raise SystemExit(f"error: {eid} manifest has an empty table")
         if len(doc["table"]["columns"]) == 0:
             raise SystemExit(f"error: {eid} manifest has no columns")
+        if eid == "E16":
+            check_throughput_gate(doc)
     print(f"ok: {len(manifests)} manifests valid "
           f"({', '.join(sorted(manifests, key=lambda e: int(e[1:])))})")
 
@@ -225,7 +250,11 @@ def main(argv: list[str]) -> int:
     parser.add_argument("out_dir", type=pathlib.Path,
                         help="directory radio_bench wrote manifests to")
     parser.add_argument("--check", action="store_true",
-                        help="validate manifests (all 15 ids) and exit")
+                        help="validate manifests and exit")
+    parser.add_argument("--expect", type=str, default=None,
+                        help="comma-separated experiment ids --check should"
+                             " require instead of all 18 (e.g. 'E16' for a"
+                             " single-experiment smoke run)")
     parser.add_argument("--bench-json", type=pathlib.Path,
                         help="append a trajectory entry to this file")
     parser.add_argument("--batch-sweep", type=pathlib.Path,
@@ -241,7 +270,9 @@ def main(argv: list[str]) -> int:
     manifests = load_manifests(args.out_dir)
 
     if args.check:
-        check(manifests)
+        expected = (args.expect.split(",") if args.expect
+                    else EXPECTED_IDS)
+        check(manifests, expected)
         return 0
     if args.bench_json is None:
         raise SystemExit("error: pass --check or --bench-json PATH")

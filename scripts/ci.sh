@@ -2,7 +2,7 @@
 # Tier-1 verification from a clean tree (the line ROADMAP.md pins):
 # configure, build, run the full gtest suite via ctest, then smoke the
 # unified experiment runner — `radio_bench run --all` on a tiny trial budget
-# must emit 15 manifests that scripts/bench_report.py validates. This gates
+# must emit 18 manifests that scripts/bench_report.py validates. This gates
 # registry completeness and manifest well-formedness, not performance.
 #
 # Static-analysis stages (docs/static-analysis.md):
@@ -57,6 +57,25 @@ fi
 if "$BUILD_DIR/bench/radio_bench" run E2 --graph-backend=dense 2>/dev/null; then
   echo "ci: radio_bench accepted --graph-backend=dense" >&2; exit 1
 fi
+
+# ---------------------------------------------------------- streaming smoke
+# E16 end to end twice: the manifests must pass the throughput gate (every
+# stable row at or below the GHK bound, bench_report.py --check) and the
+# metrics must be byte-identical at OMP_NUM_THREADS=1 vs 4 — the streaming
+# determinism contract (DESIGN.md §9) checked on the real CLI artifacts,
+# not just in-process (StreamDeterminism covers that).
+STREAM_DIR_1="$(mktemp -d)"; STREAM_DIR_4="$(mktemp -d)"
+OMP_NUM_THREADS=1 "$BUILD_DIR/bench/radio_bench" run E16 --trials 2 --seed 7 \
+  --quick --out "$STREAM_DIR_1" > /dev/null
+OMP_NUM_THREADS=4 "$BUILD_DIR/bench/radio_bench" run E16 --trials 2 --seed 7 \
+  --quick --out "$STREAM_DIR_4" > /dev/null
+python3 scripts/bench_report.py --check --expect E16 "$STREAM_DIR_1"
+if ! diff <(grep -v '"event":"summary"' "$STREAM_DIR_1/metrics.jsonl") \
+          <(grep -v '"event":"summary"' "$STREAM_DIR_4/metrics.jsonl"); then
+  echo "ci: E16 metrics differ between OMP_NUM_THREADS=1 and 4" >&2; exit 1
+fi
+rm -rf "$STREAM_DIR_1" "$STREAM_DIR_4"
+echo "ci: streaming smoke ok (E16 gate + thread determinism)" >&2
 
 # ----------------------------------------------------------- giant-n smoke
 # The implicit backend's reason to exist: one E2 row at n = 10^7 driven
@@ -136,7 +155,7 @@ if [[ "${RADIO_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     - fuzz
   run_sanitizer_stage tsan \
     "-fsanitize=thread -fno-omit-frame-pointer" \
-    'TrialRunner|ThreadDeterminism|EngineEquivalence|DenseKernel|EngineDense|BatchDeterminism|BatchEquivalence|BatchEngine' \
+    'TrialRunner|ThreadDeterminism|EngineEquivalence|DenseKernel|EngineDense|BatchDeterminism|BatchEquivalence|BatchEngine|StreamDeterminism|StreamSession|StreamWorkload' \
     nofuzz \
     OMP_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1"
 fi

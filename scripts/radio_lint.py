@@ -110,6 +110,11 @@ KERNEL_FILES = (
     "src/sim/batch/batch_engine.hpp",
     "src/sim/batch/batch_scheduler.cpp",
     "src/sim/batch/batch_scheduler.hpp",
+    "src/sim/stream/message_queue.hpp",
+    "src/sim/stream/stream_session.cpp",
+    "src/sim/stream/stream_session.hpp",
+    "src/sim/stream/streaming_protocol.cpp",
+    "src/sim/stream/streaming_protocol.hpp",
     "src/graph/bfs.cpp",
     "src/graph/bfs.hpp",
     "src/graph/implicit_gnp.cpp",

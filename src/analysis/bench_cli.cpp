@@ -87,6 +87,13 @@ BenchCommand parse_bench_command(const std::vector<std::string>& args) {
       const std::string value = flag_value("--batch", arg, args, i);
       command.batch = static_cast<int>(
           parse_int(value, "--batch", 1, 4096).value_or_throw());
+    } else if (matches_flag(arg, "--rate")) {
+      const std::string value = flag_value("--rate", arg, args, i);
+      command.rate = parse_double(value, "--rate", 1e-9, 1e9).value_or_throw();
+    } else if (matches_flag(arg, "--horizon")) {
+      const std::string value = flag_value("--horizon", arg, args, i);
+      command.horizon = static_cast<int>(
+          parse_int(value, "--horizon", 1, 100'000'000).value_or_throw());
     } else if (matches_flag(arg, "--graph-backend")) {
       const std::string value = flag_value("--graph-backend", arg, args, i);
       const auto choice = graph_backend_from_name(value);
@@ -106,7 +113,7 @@ BenchCommand parse_bench_command(const std::vector<std::string>& args) {
     } else if (looks_like_experiment_id(arg)) {
       command.ids.push_back(uppercase_id(arg));
     } else {
-      usage_error("'" + arg + "' is not an experiment id (expected E1…E15)");
+      usage_error("'" + arg + "' is not an experiment id (expected E1…E18)");
     }
   }
   if (command.ids.empty() && !command.all)
@@ -125,6 +132,8 @@ ExperimentConfig config_for_run(const BenchCommand& command,
   if (command.full) config.quick = !*command.full;
   if (command.batch) config.batch = *command.batch;
   if (command.graph_backend) config.graph_backend = *command.graph_backend;
+  if (command.rate) config.rate = *command.rate;
+  if (command.horizon) config.horizon = *command.horizon;
   if (!command.csv_dir.empty())
     config.csv_path = command.csv_dir + "/" + lower + ".csv";
   else if (!command.out_dir.empty())
@@ -134,7 +143,7 @@ ExperimentConfig config_for_run(const BenchCommand& command,
 
 std::string bench_usage() {
   return
-      "radio_bench — unified experiment runner (E1…E15)\n"
+      "radio_bench — unified experiment runner (E1…E18)\n"
       "\n"
       "Usage:\n"
       "  radio_bench list                      list registered experiments\n"
@@ -154,6 +163,10 @@ std::string bench_usage() {
       "                 auto). auto picks per instance via the cost model;\n"
       "                 implicit switches backend-aware drivers (E2) to the\n"
       "                 giant-n on-demand sampler\n"
+      "  --rate L       streaming arrival rate λ, msgs/round (RADIO_RATE).\n"
+      "                 E16–E18 only: pins the λ grid to one rate\n"
+      "  --horizon R    streaming wall rounds per trial    (RADIO_HORIZON)\n"
+      "                 E16–E18 only: overrides the driver's horizon\n"
       "  --out DIR      write CSVs, per-experiment manifests (<id>.manifest\n"
       "                 .json) and a metrics.jsonl stream into DIR\n"
       "  --csv DIR      write CSVs only, legacy RADIO_CSV_DIR layout\n"

@@ -34,6 +34,11 @@ struct BenchCommand {
   std::optional<int> batch;   ///< --batch: sim/batch lane width (1–4096)
   /// --graph-backend: auto | csr | bitmap | implicit (graph/backend.hpp)
   std::optional<GraphBackendChoice> graph_backend;
+  /// --rate: Poisson arrival rate λ for the streaming experiments E16–E18
+  /// (positive, pins the drivers' λ grid to one rate)
+  std::optional<double> rate;
+  /// --horizon: wall rounds per streaming trial (E16–E18)
+  std::optional<int> horizon;
 
   std::string out_dir;  ///< --out: CSVs + manifests + metrics.jsonl here
   std::string csv_dir;  ///< --csv: CSVs only (legacy RADIO_CSV_DIR shape)

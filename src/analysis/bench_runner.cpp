@@ -61,6 +61,8 @@ Json config_json(const ExperimentConfig& config) {
   obj.set("quick", config.quick);
   obj.set("batch", config.batch);
   obj.set("graph_backend", std::string(to_string(config.graph_backend)));
+  obj.set("rate", config.rate);
+  obj.set("horizon", config.horizon);
   obj.set("csv_path", config.csv_path);
   return obj;
 }

@@ -36,6 +36,14 @@ ExperimentConfig ExperimentConfig::from_environment(
           "' is not a graph backend (expected auto, csr, bitmap or implicit)");
     config.graph_backend = *choice;
   }
+  if (const char* rate = std::getenv("RADIO_RATE")) {
+    // Positive finite λ only; 0 would silently mean "driver default".
+    config.rate =
+        parse_double(rate, "RADIO_RATE", 1e-9, 1e9).value_or_throw();
+  }
+  if (const char* horizon = std::getenv("RADIO_HORIZON"))
+    config.horizon = static_cast<int>(
+        parse_int(horizon, "RADIO_HORIZON", 1, 100'000'000).value_or_throw());
   if (const char* dir = std::getenv("RADIO_CSV_DIR"))
     config.csv_path = std::string(dir) + "/" + experiment_id + ".csv";
   return config;

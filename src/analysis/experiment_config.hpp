@@ -31,9 +31,16 @@ struct ExperimentConfig {
   /// on the on-demand ImplicitGnp sampler; drivers that need a materialized
   /// Graph treat it as kAuto.
   GraphBackendChoice graph_backend = GraphBackendChoice::kAuto;
+  /// Poisson arrival rate λ (messages/round) for the streaming experiments
+  /// E16–E18 (sim/stream). 0 = run each driver's built-in λ grid; > 0 pins
+  /// the sweep to this single rate. Non-streaming drivers ignore it.
+  double rate = 0.0;
+  /// Streaming horizon (wall rounds per trial) for E16–E18. 0 = driver
+  /// default. Non-streaming drivers ignore it.
+  int horizon = 0;
 
   /// Reads RADIO_TRIALS / RADIO_SEED / RADIO_FULL / RADIO_CSV_DIR /
-  /// RADIO_BATCH / RADIO_GRAPH_BACKEND from the
+  /// RADIO_BATCH / RADIO_GRAPH_BACKEND / RADIO_RATE / RADIO_HORIZON from the
   /// environment so bench binaries can be scaled up without rebuilds.
   /// `radio_bench` layers its CLI flags on top of this (bench_cli.hpp).
   /// Malformed values throw std::runtime_error naming the variable and the

@@ -11,7 +11,7 @@ namespace detail {
 // Referencing them here forces every driver object file (and its static
 // registrar) out of libradio_analysis.a into any binary that touches the
 // registry. A driver missing from this list would silently vanish from
-// registry-only binaries — tests/analysis/test_registry.cpp counts to 15.
+// registry-only binaries — tests/analysis/test_registry.cpp counts to 18.
 void experiment_anchor_e1();
 void experiment_anchor_e2();
 void experiment_anchor_e3();
@@ -27,6 +27,9 @@ void experiment_anchor_e12();
 void experiment_anchor_e13();
 void experiment_anchor_e14();
 void experiment_anchor_e15();
+void experiment_anchor_e16();
+void experiment_anchor_e17();
+void experiment_anchor_e18();
 
 namespace {
 
@@ -46,6 +49,9 @@ void touch_all_anchors() {
   experiment_anchor_e13();
   experiment_anchor_e14();
   experiment_anchor_e15();
+  experiment_anchor_e16();
+  experiment_anchor_e17();
+  experiment_anchor_e18();
 }
 
 }  // namespace

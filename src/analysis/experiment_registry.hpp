@@ -1,4 +1,4 @@
-// Static registry of the experiment drivers E1…E15.
+// Static registry of the experiment drivers E1…E18.
 //
 // Each driver translation unit registers itself with
 // RADIO_REGISTER_EXPERIMENT at static-initialization time; the unified
@@ -19,14 +19,14 @@ namespace radio {
 using ExperimentFn = ExperimentResult (*)(const ExperimentConfig&);
 
 struct ExperimentEntry {
-  std::string id;     ///< canonical uppercase id, "E1" … "E15"
+  std::string id;     ///< canonical uppercase id, "E1" … "E18"
   std::string title;  ///< one-line title, identical to ExperimentResult::title
   ExperimentFn fn = nullptr;
 };
 
 class ExperimentRegistry {
  public:
-  /// All registered experiments, sorted by numeric id (E1, E2, …, E15).
+  /// All registered experiments, sorted by numeric id (E1, E2, …, E18).
   static const std::vector<ExperimentEntry>& all();
 
   /// Case-insensitive lookup ("e10" and "E10" both match); nullptr if absent.
@@ -49,7 +49,7 @@ struct ExperimentRegistrar {
 }  // namespace radio
 
 /// Registers `fn` under `id` (e.g. "E1"). `anchor` is a lowercase token
-/// unique per driver (e1 … e15); it names the link-time anchor the registry
+/// unique per driver (e1 … e18); it names the link-time anchor the registry
 /// references so the driver's object file — and with it this registrar —
 /// always makes it into the final binary. Use at radio namespace scope.
 #define RADIO_REGISTER_EXPERIMENT(anchor, id, title, fn)               \

@@ -1,4 +1,4 @@
-// The experiment drivers E1…E15 (see DESIGN.md §3). Each regenerates one
+// The experiment drivers E1…E18 (see DESIGN.md §3). Each regenerates one
 // "table" of the reproduction: a Monte-Carlo sweep plus the model fits or
 // shape checks that stand in for the paper's asymptotic statements. Every
 // driver also registers itself in the ExperimentRegistry
@@ -65,5 +65,17 @@ ExperimentResult run_e14_multisource(const ExperimentConfig& config);
 /// E15 — extension: structured topologies (hypercube / torus / ring / tree
 /// / random-regular) where the diameter term dominates.
 ExperimentResult run_e15_structured_topologies(const ExperimentConfig& config);
+
+/// E16 — streaming: throughput vs Poisson arrival rate λ, stability-knee
+/// detection against the GHK O(1/log n) reference (DESIGN.md §9).
+ExperimentResult run_e16_stream_throughput(const ExperimentConfig& config);
+
+/// E17 — streaming: per-message latency distribution at fixed λ fractions
+/// of the GHK bound.
+ExperimentResult run_e17_stream_latency(const ExperimentConfig& config);
+
+/// E18 — streaming: queue stability over long horizons at giant n on the
+/// implicit G(n,p) backend.
+ExperimentResult run_e18_stream_giant(const ExperimentConfig& config);
 
 }  // namespace radio

@@ -1,0 +1,23 @@
+#include "analysis/throughput.hpp"
+
+namespace radio {
+
+double backlog_growth(const StreamMetrics& metrics) noexcept {
+  const std::uint32_t half = metrics.rounds / 2;
+  if (half == 0) return 0.0;
+  if (metrics.waiting_at_horizon <= metrics.waiting_mid) return 0.0;
+  return static_cast<double>(metrics.waiting_at_horizon -
+                             metrics.waiting_mid) /
+         static_cast<double>(half);
+}
+
+double stability_knee(std::span<const StabilityPoint> points) noexcept {
+  double knee = 0.0;
+  for (const StabilityPoint& point : points) {
+    if (!point.stable) break;
+    knee = point.rate;
+  }
+  return knee;
+}
+
+}  // namespace radio

@@ -1,0 +1,61 @@
+// Sustained-throughput analysis shared by the streaming experiments
+// (E16–E18): the Ghaffari–Haeupler–Khabbazian reference bound, backlog
+// growth as the stability statistic, and knee detection over a λ grid.
+//
+// GHK ("A Bound on the Throughput of Radio Networks", PAPERS.md) show no
+// radio network protocol can sustain more than O(1/log n) messages per
+// round; we use 1/log2(n) as the dimensionless reference curve. The
+// reproduction's pipelines sit BELOW it — decay pays its own log factor per
+// broadcast — so the measured stability knee landing at or under the bound
+// is the sanity check bench_report.py --check gates on, not a tightness
+// claim.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "sim/stream/stream_session.hpp"
+
+namespace radio {
+
+/// The GHK throughput reference: 1 / log2(n) messages per round.
+inline double ghk_throughput_bound(NodeId n) noexcept {
+  return n < 2 ? 1.0 : 1.0 / std::log2(static_cast<double>(n));
+}
+
+/// Queue growth rate over the horizon's second half, in messages per round:
+/// (waiting at horizon - waiting at horizon/2) / (horizon/2), clamped at 0.
+/// The first half is discarded as warm-up (the pipeline starts empty).
+double backlog_growth(const StreamMetrics& metrics) noexcept;
+
+/// Absolute tolerance on backlog growth, in messages per round. Backlog is
+/// integer-valued, so a single message of end-of-horizon fluctuation reads
+/// as 1/(horizon/2) ≈ 0.002 growth at the default horizons — without a
+/// floor, that granularity flips tiny-λ points (where 10% of λ is smaller
+/// than one message) non-monotonically.
+inline constexpr double kStableGrowthTolerance = 0.002;
+
+/// Stability verdict for one (rate, growth) measurement: the queue is
+/// stable when the second-half backlog grows at under 10% of the offered
+/// load (plus the one-message granularity floor above) — a draining queue
+/// measures ~0, a saturated one measures ~(λ - μ).
+inline bool stream_stable(double rate, double growth) noexcept {
+  return growth <= 0.1 * rate + kStableGrowthTolerance;
+}
+
+/// One λ point of a throughput sweep.
+struct StabilityPoint {
+  double rate = 0.0;
+  double growth = 0.0;  ///< mean backlog_growth across trials
+  bool stable = false;
+};
+
+/// The stability knee of an ASCENDING-λ sweep: the largest stable rate
+/// before the first unstable one (0 when the very first point is already
+/// unstable; the last rate when every point is stable).
+double stability_knee(std::span<const StabilityPoint> points) noexcept;
+
+}  // namespace radio

@@ -137,17 +137,26 @@ std::vector<double> run_trials_double(int trials, std::uint64_t seed, Fn&& fn) {
 /// only: this wraps run_trials, which is not reentrant — code already
 /// running inside a trial body calls run_broadcast_batch directly (serial),
 /// as core/lower_bound.cpp does.
+///
+/// `dispatch`, when non-null, receives the cost model's decision
+/// (plan_broadcast_batch): which path ran and — for the per-instance
+/// fallbacks the dispatcher used to take silently, e.g. observation-feedback
+/// protocols — why. Callers accounting batch speedups should check it
+/// instead of assuming `batch` lanes actually ran.
 inline std::vector<BroadcastRun> run_batched_trials(
     const Graph& g, const ProtocolContext& ctx, NodeId source, int trials,
     std::uint64_t seed, const ProtocolFactory& factory,
-    std::uint32_t max_rounds, std::uint32_t batch) {
-  const std::uint32_t lanes = batch_lanes_for(g, batch);
-  if (lanes < 2 || trials < 2) {
+    std::uint32_t max_rounds, std::uint32_t batch,
+    BatchDispatch* dispatch = nullptr) {
+  const BatchDispatch plan = plan_broadcast_batch(g, trials, factory, batch);
+  if (dispatch) *dispatch = plan;
+  if (plan.path == BatchDispatch::Path::kPerInstance) {
     return run_trials<BroadcastRun>(trials, seed, [&](int i, Rng& rng) {
       const std::unique_ptr<Protocol> protocol = factory(i);
       return broadcast_with(*protocol, ctx, g, source, rng, max_rounds);
     });
   }
+  const std::uint32_t lanes = plan.lanes;
   const int chunk = static_cast<int>(lanes) * 2;
   const int chunks = (trials + chunk - 1) / chunk;
   std::vector<std::vector<BroadcastRun>> per_chunk =

@@ -25,22 +25,43 @@ std::uint32_t batch_lanes_for(const Graph& g,
   return lanes;
 }
 
+BatchDispatch plan_broadcast_batch(const Graph& g, int trials,
+                                   const ProtocolFactory& factory,
+                                   std::uint32_t requested_lanes) {
+  BatchDispatch plan;
+  plan.lanes = batch_lanes_for(g, requested_lanes);
+  if (plan.lanes < 2) {
+    plan.lanes = 1;
+    plan.reason = requested_lanes < 2 ? "batching not requested"
+                                      : "cost model clamped lanes below 2";
+    return plan;
+  }
+  if (trials < 2) {
+    plan.lanes = 1;
+    plan.reason = "fewer than 2 trials";
+    return plan;
+  }
+  const std::unique_ptr<Protocol> probe = factory(0);
+  RADIO_EXPECTS(probe != nullptr);
+  if (probe->wants_observations()) {
+    plan.lanes = 1;
+    plan.reason = "observation-feedback protocol";
+    return plan;
+  }
+  plan.path = BatchDispatch::Path::kBatched;
+  return plan;
+}
+
 std::vector<BroadcastRun> run_broadcast_batch(
     const Graph& g, const ProtocolContext& ctx, NodeId source, int trials,
     std::uint64_t seed, std::uint64_t first_stream,
     const ProtocolFactory& factory, std::uint32_t max_rounds,
     std::uint32_t lanes) {
   RADIO_EXPECTS(trials >= 0);
-  const std::uint32_t effective = batch_lanes_for(g, lanes);
+  const BatchDispatch plan = plan_broadcast_batch(g, trials, factory, lanes);
+  const std::uint32_t effective = plan.lanes;
 
-  bool batched = effective >= 2 && trials >= 2;
-  if (batched) {
-    const std::unique_ptr<Protocol> probe = factory(0);
-    RADIO_EXPECTS(probe != nullptr);
-    if (probe->wants_observations()) batched = false;
-  }
-
-  if (batched) {
+  if (plan.path == BatchDispatch::Path::kBatched) {
     BatchScheduler scheduler(g, ctx, effective, max_rounds);
     return scheduler.run(seed, first_stream, trials, source, factory);
   }

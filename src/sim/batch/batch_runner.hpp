@@ -41,6 +41,28 @@ std::size_t batch_state_bytes(const Graph& g, std::uint32_t lanes) noexcept;
 /// does not apply — requested < 2 or the graph is empty).
 std::uint32_t batch_lanes_for(const Graph& g, std::uint32_t requested) noexcept;
 
+/// Which execution path the dispatcher chose, and why. Previously the
+/// observation-feedback fallback was silent: a caller asking for --batch 64
+/// with a wants_observations protocol got per-instance execution with no
+/// record, so speedup accounting quietly lied. The plan makes every
+/// fallback reportable (and testable — tests/analysis/
+/// test_batch_dispatch.cpp pins each reason).
+struct BatchDispatch {
+  enum class Path { kBatched, kPerInstance };
+
+  Path path = Path::kPerInstance;
+  std::uint32_t lanes = 1;    ///< effective lane width (1 on per-instance)
+  const char* reason = "";    ///< why per-instance; "" when batched
+};
+
+/// Pure cost-model decision for run_broadcast_batch/run_batched_trials:
+/// clamps `requested_lanes` via batch_lanes_for and reports per-instance
+/// for degenerate trial counts or observation-feedback protocols (probes
+/// factory(0) once; `factory` must be pure).
+BatchDispatch plan_broadcast_batch(const Graph& g, int trials,
+                                   const ProtocolFactory& factory,
+                                   std::uint32_t requested_lanes);
+
 /// Runs `trials` broadcasts of factory(t) on the SHARED graph g from
 /// `source`, trial t drawing from Rng::for_stream(seed, first_stream + t),
 /// batched `lanes` wide when the cost model approves and per-instance

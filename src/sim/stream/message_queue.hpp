@@ -1,0 +1,131 @@
+// Message bookkeeping for sustained-traffic (streaming) workloads.
+//
+// A StreamSession (stream_session.hpp) simulates a service under load:
+// messages arrive at random nodes over time instead of existing once at
+// round 0. MessageQueue is the arrival ledger — every message ever enqueued
+// stays recorded with its arrival/start/completion rounds, so per-message
+// latency and the conservation invariant
+//
+//     total_enqueued == delivered + in_flight + waiting
+//
+// are checkable at any point (pinned by tests/sim/test_stream.cpp). The
+// queue is FIFO: messages start service in arrival order.
+//
+// PoissonArrivals is the traffic generator: per round it draws an arrival
+// count ~ Poisson(rate) and a uniform origin node per arrival, from its own
+// dedicated Rng stream — arrivals are a fixed function of (seed, stream)
+// regardless of thread count, batch width, or how the protocol consumes
+// randomness (the determinism contract in stream_session.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace radio {
+
+/// Sentinel for "has not happened yet" in StreamMessage round fields.
+inline constexpr std::uint32_t kRoundPending = 0xFFFFFFFFu;
+
+/// One message's lifecycle. Latency of a delivered message is
+/// completion_round - arrival_round (queueing wait included).
+struct StreamMessage {
+  std::uint64_t id = 0;           ///< dense, assigned in arrival order
+  NodeId origin = 0;              ///< node the message arrives at
+  std::uint32_t arrival_round = 0;
+  std::uint32_t start_round = kRoundPending;      ///< entered a pipeline slot
+  std::uint32_t completion_round = kRoundPending; ///< all nodes informed
+
+  bool started() const noexcept { return start_round != kRoundPending; }
+  bool delivered() const noexcept { return completion_round != kRoundPending; }
+};
+
+/// FIFO arrival ledger. Started messages are exactly the popped prefix, so
+/// the waiting set is a contiguous suffix and every counter is O(1).
+class MessageQueue {
+ public:
+  /// Records an arrival; returns the message id.
+  std::uint64_t enqueue(NodeId origin, std::uint32_t round) {
+    const std::uint64_t id = messages_.size();
+    messages_.push_back(StreamMessage{id, origin, round});
+    return id;
+  }
+
+  bool has_waiting() const noexcept { return head_ < messages_.size(); }
+
+  /// Pops the oldest waiting message into service, stamping its start round.
+  std::uint64_t start_next(std::uint32_t round) {
+    RADIO_EXPECTS(has_waiting());
+    StreamMessage& m = messages_[head_++];
+    m.start_round = round;
+    return m.id;
+  }
+
+  /// Marks a started, undelivered message delivered in `round`.
+  void mark_delivered(std::uint64_t id, std::uint32_t round) {
+    RADIO_EXPECTS(id < messages_.size());
+    StreamMessage& m = messages_[id];
+    RADIO_EXPECTS(m.started() && !m.delivered());
+    m.completion_round = round;
+    ++delivered_;
+  }
+
+  /// Messages enqueued but not yet started.
+  std::size_t waiting() const noexcept { return messages_.size() - head_; }
+  /// Messages started but not yet delivered.
+  std::size_t in_flight() const noexcept {
+    return head_ - static_cast<std::size_t>(delivered_);
+  }
+  std::uint64_t total_enqueued() const noexcept { return messages_.size(); }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+
+  /// The conservation invariant; true unless bookkeeping is broken.
+  bool conserves() const noexcept {
+    return total_enqueued() == delivered_ + in_flight() + waiting();
+  }
+
+  const StreamMessage& message(std::uint64_t id) const {
+    RADIO_EXPECTS(id < messages_.size());
+    return messages_[id];
+  }
+  const std::vector<StreamMessage>& messages() const noexcept {
+    return messages_;
+  }
+
+ private:
+  std::vector<StreamMessage> messages_;
+  std::size_t head_ = 0;         ///< messages_[0, head_) have started
+  std::uint64_t delivered_ = 0;
+};
+
+/// Poisson traffic source: per round, a count ~ Poisson(rate) of messages
+/// arrive, each at an independently uniform node of an n-node network.
+class PoissonArrivals {
+ public:
+  /// `rng` is taken by value: the generator owns its arrival stream.
+  PoissonArrivals(double rate, NodeId n, Rng rng) noexcept
+      : rate_(rate), n_(n), rng_(rng) {
+    RADIO_EXPECTS(rate >= 0.0 && n >= 1);
+  }
+
+  /// Draws this round's arrivals, appending one origin per message to `out`
+  /// (not cleared). Returns the arrival count.
+  std::uint32_t draw(std::vector<NodeId>& out) {
+    const std::uint64_t k = rng_.poisson(rate_);
+    for (std::uint64_t i = 0; i < k; ++i)
+      out.push_back(static_cast<NodeId>(rng_.uniform_below(n_)));
+    return static_cast<std::uint32_t>(k);
+  }
+
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+  NodeId n_;
+  Rng rng_;
+};
+
+}  // namespace radio

@@ -1,0 +1,123 @@
+// Sustained-traffic simulation: a radio network serving a Poisson stream of
+// broadcast messages through a pipelined StreamingProtocol.
+//
+// One StreamSession == one long-lived service run on one graph instance.
+// Per wall round r = 1 … horizon:
+//
+//   1. arrivals — PoissonArrivals draws k ~ Poisson(rate) new messages,
+//      each at a uniform origin node, enqueued FIFO;
+//   2. dispatch — the round's owning pipeline slot s = (r-1) % depth adopts
+//      the oldest waiting message if it is idle (one BroadcastSession per
+//      in-flight message, created here);
+//   3. service — slot s advances its message by ONE local round: the
+//      streaming protocol selects transmitters, the channel kernel executes
+//      them (exact collision semantics, sim/engine.hpp);
+//   4. retire — if the message's broadcast completed (every node informed),
+//      its latency (completion - arrival, queueing included) is recorded and
+//      the slot goes idle.
+//
+// Only the owning slot transmits in a round, so concurrent messages never
+// collide with each other (streaming_protocol.hpp). A message whose
+// broadcast cannot complete (e.g. flooding wedged by collisions) occupies
+// its slot forever — that shows up honestly as queue growth, which is
+// exactly what E16's stability sweep measures.
+//
+// Determinism contract: all randomness comes from two session-owned
+// generators derived via Rng::for_stream(seed, tag | stream) — one for
+// arrivals, one for protocol coin flips, with disjoint tag bits so neither
+// stream can collide with a plain trial stream. A StreamSession is a pure
+// function of (graph, context, protocol, config): results are byte-identical
+// across thread counts and --batch widths (which parallelize across
+// sessions, never inside one); pinned by tests/analysis/
+// test_stream_determinism.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/session.hpp"
+#include "sim/stream/message_queue.hpp"
+#include "sim/stream/streaming_protocol.hpp"
+
+namespace radio {
+
+/// Sub-stream tag bits for the session's two generators. Trial indices are
+/// small integers, so setting a high bit keeps (seed, tag | stream) disjoint
+/// from every (seed, trial) stream run_trials derives.
+inline constexpr std::uint64_t kArrivalStreamTag = std::uint64_t{1} << 62;
+inline constexpr std::uint64_t kProtocolStreamTag = std::uint64_t{1} << 63;
+
+struct StreamConfig {
+  double rate = 0.25;         ///< λ: expected message arrivals per round
+  std::uint32_t horizon = 2000;  ///< wall rounds to simulate
+  std::uint64_t seed = 42;
+  std::uint64_t stream = 0;   ///< trial stream index (one session per trial)
+  /// Queue-depth trajectory resolution: about this many evenly spaced
+  /// samples over the horizon (at least 1; the final round is always
+  /// sampled).
+  std::uint32_t trajectory_samples = 8;
+};
+
+/// One (round, queue state) trajectory sample.
+struct QueueSample {
+  std::uint32_t round = 0;
+  std::uint64_t waiting = 0;
+  std::uint32_t in_flight = 0;
+};
+
+struct StreamMetrics {
+  std::uint64_t enqueued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t waiting_at_horizon = 0;
+  std::uint64_t waiting_mid = 0;   ///< queue depth after round horizon/2
+  std::uint64_t max_waiting = 0;
+  std::uint32_t in_flight_at_horizon = 0;
+  std::uint32_t rounds = 0;        ///< == config.horizon
+  std::uint64_t transmissions = 0;
+  /// Collision events summed over every message's broadcast session. The
+  /// giant-n light path (analysis/stream_workload.hpp) does not track
+  /// collisions and reports 0 here.
+  std::uint64_t collisions = 0;
+  /// completion - arrival per delivered message, in delivery order.
+  std::vector<std::uint32_t> latencies;
+  std::vector<QueueSample> trajectory;
+
+  /// Achieved throughput in messages per round.
+  double throughput() const noexcept {
+    return rounds == 0 ? 0.0
+                       : static_cast<double>(delivered) /
+                             static_cast<double>(rounds);
+  }
+};
+
+class StreamSession {
+ public:
+  /// The graph and protocol must outlive the session. `ctx.n` must equal
+  /// `g.num_nodes()`.
+  StreamSession(const Graph& g, const ProtocolContext& ctx,
+                StreamingProtocol& protocol, const StreamConfig& config);
+
+  /// Runs the full horizon. Single-use: a second call asserts.
+  StreamMetrics run();
+
+  /// The arrival ledger (conservation checks, per-message forensics).
+  const MessageQueue& queue() const noexcept { return queue_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<BroadcastSession> session;
+    std::uint64_t message_id = 0;
+    std::uint32_t local_round = 0;
+    bool active = false;
+  };
+
+  const Graph* g_;
+  ProtocolContext ctx_;
+  StreamingProtocol* protocol_;
+  StreamConfig config_;
+  MessageQueue queue_;
+  bool ran_ = false;
+};
+
+}  // namespace radio

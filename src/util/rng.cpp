@@ -69,4 +69,28 @@ std::uint64_t Xoshiro256StarStar::binomial(std::uint64_t n, double p) noexcept {
   return flipped ? n - draw : draw;
 }
 
+std::uint64_t Xoshiro256StarStar::poisson(double mean) noexcept {
+  RADIO_EXPECTS(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  // Knuth: count uniforms until their product drops below exp(-mean). Means
+  // above kChunk are split into independent Poisson(kChunk) summands first —
+  // exp(-500) ~ 7e-218 stays comfortably normal, while exp(-mean) for a
+  // large mean would underflow to 0 and loop forever.
+  constexpr double kChunk = 500.0;
+  std::uint64_t count = 0;
+  double remaining = mean;
+  while (remaining > 0.0) {
+    const double part = remaining < kChunk ? remaining : kChunk;
+    remaining -= part;
+    const double limit = std::exp(-part);
+    double product = 1.0;
+    for (;;) {
+      product *= uniform();
+      if (product <= limit) break;
+      ++count;
+    }
+  }
+  return count;
+}
+
 }  // namespace radio

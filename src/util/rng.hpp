@@ -115,6 +115,12 @@ class Xoshiro256StarStar {
   /// algorithm (only generators/tests), but determinism is.
   std::uint64_t binomial(std::uint64_t n, double p) noexcept;
 
+  /// Poisson(mean) via Knuth's product-of-uniforms method, chunked so
+  /// exp(-chunk) never underflows. Exact distribution (sums of independent
+  /// Poissons are Poisson), deterministic, O(mean) draws — sized for the
+  /// streaming arrival rates (sim/stream), which are < a few per round.
+  std::uint64_t poisson(double mean) noexcept;
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -18,6 +18,8 @@ void clear_radio_env() {
   ::unsetenv("RADIO_CSV_DIR");
   ::unsetenv("RADIO_BATCH");
   ::unsetenv("RADIO_GRAPH_BACKEND");
+  ::unsetenv("RADIO_RATE");
+  ::unsetenv("RADIO_HORIZON");
 }
 
 class BenchCliTest : public ::testing::Test {
@@ -235,6 +237,63 @@ TEST_F(BenchCliTest, RejectsMalformedBatchValues) {
   ::setenv("RADIO_BATCH", "0", 1);
   EXPECT_THROW(config_for_run(command, "E7"), std::runtime_error);
   ::unsetenv("RADIO_BATCH");
+}
+
+TEST_F(BenchCliTest, StreamingFlagsLayerLikeEveryOtherNumericFlag) {
+  // Defaults < RADIO_RATE/RADIO_HORIZON < --rate/--horizon. The defaults
+  // are 0 ("driver picks its own grid/horizon"), so a pinned value is
+  // always an explicit override.
+  const BenchCommand bare = parse_bench_command({"run", "E16"});
+  EXPECT_EQ(config_for_run(bare, "E16").rate, 0.0);
+  EXPECT_EQ(config_for_run(bare, "E16").horizon, 0);
+
+  ::setenv("RADIO_RATE", "0.05", 1);
+  ::setenv("RADIO_HORIZON", "500", 1);
+  EXPECT_DOUBLE_EQ(config_for_run(bare, "E16").rate, 0.05);
+  EXPECT_EQ(config_for_run(bare, "E16").horizon, 500);
+
+  const BenchCommand flagged = parse_bench_command(
+      {"run", "E16", "--rate", "0.125", "--horizon", "2500"});
+  EXPECT_DOUBLE_EQ(config_for_run(flagged, "E16").rate, 0.125);
+  EXPECT_EQ(config_for_run(flagged, "E16").horizon, 2500);
+  ::unsetenv("RADIO_RATE");
+  ::unsetenv("RADIO_HORIZON");
+
+  EXPECT_DOUBLE_EQ(*parse_bench_command({"run", "E16", "--rate=0.01"}).rate,
+                   0.01);
+  EXPECT_EQ(*parse_bench_command({"run", "E16", "--horizon=100"}).horizon,
+            100);
+}
+
+TEST_F(BenchCliTest, RejectsMalformedStreamingValues) {
+  for (const char* bad : {"banana", "0", "-0.5", "", "0.1x"}) {
+    try {
+      parse_bench_command({"run", "E16", std::string("--rate=") + bad});
+      FAIL() << "--rate=" << bad << " should be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos);
+    }
+  }
+  for (const char* bad : {"soon", "0", "-100", "", "1e3"}) {
+    try {
+      parse_bench_command({"run", "E16", std::string("--horizon=") + bad});
+      FAIL() << "--horizon=" << bad << " should be rejected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("--horizon"), std::string::npos);
+    }
+  }
+  const BenchCommand command = parse_bench_command({"run", "E16"});
+  ::setenv("RADIO_RATE", "fast", 1);
+  try {
+    config_for_run(command, "E16");
+    FAIL() << "RADIO_RATE=fast should be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("RADIO_RATE"), std::string::npos);
+  }
+  ::unsetenv("RADIO_RATE");
+  ::setenv("RADIO_HORIZON", "forever", 1);
+  EXPECT_THROW(config_for_run(command, "E16"), std::runtime_error);
+  ::unsetenv("RADIO_HORIZON");
 }
 
 TEST_F(BenchCliTest, GraphBackendFlagLayersLikeEveryOtherFlag) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
@@ -132,6 +133,51 @@ TEST(Experiments, E15CoversAllTopologies) {
   const ExperimentResult r = run_e15_structured_topologies(tiny_config());
   expect_well_formed(r, "E15");
   EXPECT_EQ(r.table.num_rows(), 15u);  // 5 topologies x 3 protocols
+}
+
+TEST(Experiments, E16SweepsRatesForBothStreamProtocols) {
+  const ExperimentResult r = run_e16_stream_throughput(tiny_config());
+  expect_well_formed(r, "E16");
+  // 2 protocols x 2 sizes x 6 rate fractions in quick mode.
+  EXPECT_EQ(r.table.num_rows(), 24u);
+  // The acceptance gate's precondition: every stable row's rate is at or
+  // below the GHK reference (bench_report.py --check enforces the same).
+  const auto& header = r.table.header();
+  std::size_t rate_col = 0, bound_col = 0, stable_col = 0;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == "rate") rate_col = c;
+    if (header[c] == "ghk_bound") bound_col = c;
+    if (header[c] == "stable") stable_col = c;
+  }
+  for (std::size_t row = 0; row < r.table.num_rows(); ++row) {
+    if (r.table.at(row, stable_col) != "yes") continue;
+    EXPECT_LE(std::stod(r.table.at(row, rate_col)),
+              std::stod(r.table.at(row, bound_col)) + 1e-9)
+        << "stable row " << row << " exceeds the GHK bound";
+  }
+}
+
+TEST(Experiments, E16HonorsRateAndHorizonOverrides) {
+  ExperimentConfig config = tiny_config();
+  config.rate = 0.01;
+  config.horizon = 300;
+  const ExperimentResult r = run_e16_stream_throughput(config);
+  // A pinned rate collapses the λ grid to one point per (protocol, n).
+  EXPECT_EQ(r.table.num_rows(), 4u);
+}
+
+TEST(Experiments, E17ProducesLatencyRows) {
+  const ExperimentResult r = run_e17_stream_latency(tiny_config());
+  expect_well_formed(r, "E17");
+  EXPECT_EQ(r.table.num_rows(), 4u);  // 1 size x 4 rate fractions in quick
+}
+
+TEST(Experiments, E18StreamsOnImplicitBackend) {
+  ExperimentConfig config = tiny_config();
+  config.horizon = 400;  // keep the giant-n smoke cheap
+  const ExperimentResult r = run_e18_stream_giant(config);
+  expect_well_formed(r, "E18");
+  EXPECT_EQ(r.table.num_rows(), 3u);  // 3 rate fractions in quick mode
 }
 
 TEST(ExperimentConfig, EnvironmentOverrides) {

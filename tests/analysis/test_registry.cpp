@@ -1,4 +1,4 @@
-// ExperimentRegistry: every driver E1…E15 self-registers exactly once, ids
+// ExperimentRegistry: every driver E1…E18 self-registers exactly once, ids
 // are unique and ordered, and lookup is case-insensitive. This is the
 // completeness gate for `radio_bench run --all` — a driver that falls out
 // of the registry (or out of the link) fails here, not silently in CI.
@@ -12,10 +12,10 @@
 namespace radio {
 namespace {
 
-TEST(ExperimentRegistry, AllFifteenExperimentsRegistered) {
+TEST(ExperimentRegistry, AllEighteenExperimentsRegistered) {
   const auto& entries = ExperimentRegistry::all();
-  ASSERT_EQ(entries.size(), 15u);
-  for (int i = 0; i < 15; ++i) {
+  ASSERT_EQ(entries.size(), 18u);
+  for (int i = 0; i < 18; ++i) {
     std::string expected = "E";
     expected += std::to_string(i + 1);
     EXPECT_EQ(entries[static_cast<std::size_t>(i)].id, expected);
@@ -27,7 +27,7 @@ TEST(ExperimentRegistry, IdsAreUnique) {
   for (const ExperimentEntry& entry : ExperimentRegistry::all())
     EXPECT_TRUE(ids.insert(entry.id).second)
         << "duplicate id " << entry.id;
-  EXPECT_EQ(ids.size(), 15u);
+  EXPECT_EQ(ids.size(), 18u);
 }
 
 TEST(ExperimentRegistry, EntriesAreComplete) {
@@ -46,7 +46,7 @@ TEST(ExperimentRegistry, FindIsCaseInsensitive) {
 }
 
 TEST(ExperimentRegistry, FindRejectsUnknownIds) {
-  EXPECT_EQ(ExperimentRegistry::find("E16"), nullptr);
+  EXPECT_EQ(ExperimentRegistry::find("E19"), nullptr);
   EXPECT_EQ(ExperimentRegistry::find("E0"), nullptr);
   EXPECT_EQ(ExperimentRegistry::find(""), nullptr);
   EXPECT_EQ(ExperimentRegistry::find("bogus"), nullptr);

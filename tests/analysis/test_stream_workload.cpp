@@ -1,0 +1,90 @@
+// Streaming workload drivers (analysis/stream_workload.hpp): the full
+// StreamSession path and the giant-n light path must agree message for
+// message on the same materialized graph, and run_stream_trial must honor
+// the backend choice and stream index it is handed.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/stream_workload.hpp"
+#include "graph/implicit_gnp.hpp"
+#include "graph/random_graph.hpp"
+#include "protocols/streaming_adapters.hpp"
+
+namespace radio {
+namespace {
+
+// The equivalence pin behind E18: run_decay_stream<G> inlines pipelined
+// decay over LightSession, and must replicate the full path's Rng draw
+// sequence exactly — same arrivals, same coin flips, same deliveries. Only
+// collision counts differ (the light path does not track them).
+TEST(StreamWorkload, LightMatchesFullPath) {
+  Rng graph_rng = Rng::for_stream(404, 0);
+  const Graph g =
+      generate_gnp(GnpParams::with_degree(96, 24.0), graph_rng);
+
+  StreamConfig config;
+  config.rate = 0.02;
+  config.horizon = 1200;
+  config.seed = 404;
+  config.stream = 5;
+  config.trajectory_samples = 6;
+
+  const ProtocolContext ctx{g.num_nodes(), 0.0};
+  const auto protocol = make_pipelined_decay(2);
+  StreamSession session(g, ctx, *protocol, config);
+  const StreamMetrics full = session.run();
+  const StreamMetrics light = run_decay_stream(g, 2, config);
+
+  EXPECT_GT(full.delivered, 0u);
+  EXPECT_EQ(light.enqueued, full.enqueued);
+  EXPECT_EQ(light.delivered, full.delivered);
+  EXPECT_EQ(light.waiting_at_horizon, full.waiting_at_horizon);
+  EXPECT_EQ(light.waiting_mid, full.waiting_mid);
+  EXPECT_EQ(light.max_waiting, full.max_waiting);
+  EXPECT_EQ(light.in_flight_at_horizon, full.in_flight_at_horizon);
+  EXPECT_EQ(light.transmissions, full.transmissions);
+  EXPECT_EQ(light.latencies, full.latencies);
+  ASSERT_EQ(light.trajectory.size(), full.trajectory.size());
+  for (std::size_t i = 0; i < light.trajectory.size(); ++i) {
+    EXPECT_EQ(light.trajectory[i].round, full.trajectory[i].round);
+    EXPECT_EQ(light.trajectory[i].waiting, full.trajectory[i].waiting);
+    EXPECT_EQ(light.trajectory[i].in_flight, full.trajectory[i].in_flight);
+  }
+  EXPECT_EQ(light.collisions, 0u);  // by design; full path counts them
+}
+
+TEST(StreamWorkload, LightPathRunsOnImplicitBackend) {
+  const ImplicitGnp g(4096, 12.0 / 4096.0, 77);
+  StreamConfig config;
+  config.rate = 0.005;
+  config.horizon = 600;
+  config.seed = 77;
+  const StreamMetrics metrics = run_decay_stream(g, 2, config);
+  EXPECT_EQ(metrics.rounds, 600u);
+  EXPECT_EQ(metrics.enqueued, metrics.delivered + metrics.in_flight_at_horizon +
+                                  metrics.waiting_at_horizon);
+}
+
+TEST(StreamWorkload, TrialIsDeterministicInSeedAndStream) {
+  const GnpParams params = GnpParams::with_degree(64, 16.0);
+  const auto run_once = [&](std::uint64_t stream) {
+    Rng rng = Rng::for_stream(7, stream);
+    return run_stream_trial(
+        params, GraphBackendChoice::kAuto,
+        [] { return make_pipelined_decay(2); }, 0.02, 800, 7, stream, rng);
+  };
+  const StreamMetrics a = run_once(0);
+  const StreamMetrics b = run_once(0);
+  EXPECT_EQ(a.enqueued, b.enqueued);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.latencies, b.latencies);
+
+  const StreamMetrics c = run_once(1);
+  EXPECT_TRUE(a.enqueued != c.enqueued || a.latencies != c.latencies);
+}
+
+}  // namespace
+}  // namespace radio

@@ -224,6 +224,45 @@ TEST(Xoshiro, BinomialMeanLargeRegime) {
   EXPECT_NEAR(acc / trials, 500.0, 2.0);
 }
 
+TEST(Xoshiro, PoissonEdgeCases) {
+  Rng rng(18);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  // Vanishing mean: nearly always 0, never negative-garbage.
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(rng.poisson(1e-9), 1u);
+}
+
+TEST(Xoshiro, PoissonIsDeterministic) {
+  Rng a(19), b(19);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.poisson(0.8), b.poisson(0.8));
+}
+
+TEST(Xoshiro, PoissonMeanAndVariance) {
+  Rng rng(20);
+  const double mean = 4.0;
+  const int trials = 20000;
+  double acc = 0.0, acc2 = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double k = static_cast<double>(rng.poisson(mean));
+    acc += k;
+    acc2 += k * k;
+  }
+  const double m = acc / trials;
+  const double var = acc2 / trials - m * m;
+  EXPECT_NEAR(m, mean, 0.1);
+  EXPECT_NEAR(var, mean, 0.3);  // Poisson: variance == mean
+}
+
+TEST(Xoshiro, PoissonChunkedLargeMeanSurvivesExpUnderflow) {
+  // Means past ~700 would underflow exp(-mean) without chunking; the
+  // chunked walk must stay near the mean (stddev = sqrt(2000) ≈ 45).
+  Rng rng(21);
+  double acc = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i)
+    acc += static_cast<double>(rng.poisson(2000.0));
+  EXPECT_NEAR(acc / trials, 2000.0, 15.0);
+}
+
 TEST(Xoshiro, BinomialFlippedProbabilityIsSymmetric) {
   Rng rng(17);
   double lo = 0.0, hi = 0.0;
