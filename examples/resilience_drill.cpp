@@ -38,7 +38,8 @@ int main(int argc, char** argv) try {
   radio::SessionFaults faults = radio::make_crash_faults(
       instance.graph.num_nodes(), crash, source, rng);
   faults.loss = loss;
-  faults.seed = seed ^ 0xFA17;
+  faults.seed =
+      radio::derive_row_seed(seed, 0, radio::stable_row_tag("loss-faults"));
   const std::size_t crashed = faults.crashed.count();
 
   std::printf(

@@ -100,9 +100,43 @@ def check_throughput_gate(doc: dict) -> None:
                 f" GHK bound {bound}")
 
 
+def check_adversary_gate(doc: dict) -> None:
+    """E7's acceptance gate: the guided adversarial search must stay
+    consistent — no best-found completion may undercut the unconditional
+    diameter bound of its instances, every adversary row must certify a
+    witness, and the Thm-8 ``a*ln n + b`` fit must actually fit."""
+    columns = doc["table"]["columns"]
+    try:
+        exp_col = columns.index("experiment")
+        best_col = columns.index("best_rounds")
+        diam_col = columns.index("diameter")
+        witness_col = columns.index("witness")
+    except ValueError as err:
+        raise SystemExit(f"error: E7 table is missing a column: {err}")
+    for i, row in enumerate(doc["table"]["rows"]):
+        name = row[exp_col]
+        if name.startswith("Thm8"):
+            best, diameter = float(row[best_col]), float(row[diam_col])
+            if best < diameter - 1e-9:
+                raise SystemExit(
+                    f"error: E7 row {i} completes in {best} rounds, below"
+                    f" its diameter bound {diameter}")
+        if not name.startswith("stress") and row[witness_col] == "-":
+            raise SystemExit(
+                f"error: E7 row {i} ({name}) certifies no witness")
+    fits = [f for f in doc["fits"] if "Thm8" in f["label"]]
+    if not fits:
+        raise SystemExit("error: E7 manifest has no Thm8 fit")
+    if fits[0]["r_squared"] < 0.9:
+        raise SystemExit(
+            f"error: E7 Thm8 fit R^2 {fits[0]['r_squared']:.3f} is below"
+            " the 0.9 floor — the guided search lost its ln n linearity")
+
+
 def check(manifests: dict[str, dict], expected_ids: list[str]) -> None:
     """The CI smoke gate: expected experiments present, populated tables,
-    and E16's stability sweep consistent with the GHK bound."""
+    E7's adversary consistent with its diameter bounds and fit floor, and
+    E16's stability sweep consistent with the GHK bound."""
     missing = [eid for eid in expected_ids if eid not in manifests]
     if missing:
         raise SystemExit(f"error: manifests missing experiments {missing}")
@@ -114,6 +148,8 @@ def check(manifests: dict[str, dict], expected_ids: list[str]) -> None:
             raise SystemExit(f"error: {eid} manifest has an empty table")
         if len(doc["table"]["columns"]) == 0:
             raise SystemExit(f"error: {eid} manifest has no columns")
+        if eid == "E7":
+            check_adversary_gate(doc)
         if eid == "E16":
             check_throughput_gate(doc)
     print(f"ok: {len(manifests)} manifests valid "

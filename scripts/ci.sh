@@ -155,7 +155,7 @@ if [[ "${RADIO_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     - fuzz
   run_sanitizer_stage tsan \
     "-fsanitize=thread -fno-omit-frame-pointer" \
-    'TrialRunner|ThreadDeterminism|EngineEquivalence|DenseKernel|EngineDense|BatchDeterminism|BatchEquivalence|BatchEngine|StreamDeterminism|StreamSession|StreamWorkload' \
+    'TrialRunner|ThreadDeterminism|EngineEquivalence|DenseKernel|EngineDense|BatchDeterminism|BatchEquivalence|BatchEngine|StreamDeterminism|StreamSession|StreamWorkload|Adversary|FixedSmallSet|GuidedSmallSetSearch|GuidedSearchFixture' \
     nofuzz \
     OMP_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1"
 fi

@@ -24,6 +24,9 @@ Rules (see docs/static-analysis.md for the catalogue with rationale):
                                   ranged-for over unordered containers whose
                                   body writes to output sinks (tables, CSV,
                                   JSON, streams)
+  no-xor-seed-derivation          seeds combined with '^' outside util/rng —
+                                  XOR offsets collide; derive per-row seeds
+                                  with derive_row_seed()
 
 Suppression: append on the flagged line (or on a comment-only line directly
 above it)::
@@ -60,6 +63,7 @@ RULE_RNG_STREAM = "rng-stream-discipline"
 RULE_NO_WALLCLOCK = "no-wallclock-in-sim"
 RULE_NO_IOSTREAM = "no-iostream-in-kernel"
 RULE_NO_UNORDERED_OUT = "no-unordered-iteration-to-output"
+RULE_NO_XOR_SEED = "no-xor-seed-derivation"
 
 ALL_RULES = (
     RULE_NO_RAW_PARSE,
@@ -68,6 +72,7 @@ ALL_RULES = (
     RULE_NO_WALLCLOCK,
     RULE_NO_IOSTREAM,
     RULE_NO_UNORDERED_OUT,
+    RULE_NO_XOR_SEED,
 )
 
 # Paths are matched on '/'-separated repo-relative form.
@@ -143,6 +148,15 @@ OUTPUT_SINK_RE = re.compile(
     r"|\.\s*set\s*\(|\.\s*append\s*\("
     r"|\bpush_back\b.*\b(csv|json|row|line|out)"
 )
+
+# no-xor-seed-derivation: XOR-offset seed derivations (`config.seed ^ tag`)
+# collide whenever two tags XOR to the same mask, silently sharing RNG
+# streams between rows. Only util/rng may mix seed bits directly (its
+# derivations avalanche through SplitMix64 between injections).
+XOR_SEED_ALLOWED = ("src/util/rng.cpp", "src/util/rng.hpp")
+XOR_OP_RE = re.compile(r"\^=?")
+IDENT_BEFORE_XOR_RE = re.compile(r"([A-Za-z_]\w*)\s*$")
+IDENT_AFTER_XOR_RE = re.compile(r"^\s*\(*\s*([A-Za-z_]\w*)")
 
 OMP_PARALLEL_RE = re.compile(r"#\s*pragma\s+omp\s.*\bparallel\b")
 RNG_CONSTRUCT_RE = re.compile(
@@ -492,6 +506,28 @@ def check_no_unordered_iteration_to_output(sf: SourceFile) -> Iterable[Finding]:
             )
 
 
+def check_no_xor_seed_derivation(sf: SourceFile) -> Iterable[Finding]:
+    if sf.path in XOR_SEED_ALLOWED:
+        return
+    for idx, line in enumerate(sf.code_lines, start=1):
+        for m in XOR_OP_RE.finditer(line):
+            before = IDENT_BEFORE_XOR_RE.search(line[: m.start()])
+            after = IDENT_AFTER_XOR_RE.search(line[m.end():])
+            names = [g.group(1) for g in (before, after) if g]
+            seedy = [name for name in names if "seed" in name.lower()]
+            if not seedy:
+                continue
+            yield Finding(
+                sf.path, idx, RULE_NO_XOR_SEED,
+                f"'{seedy[0]}' combined with '^' — XOR offsets collide "
+                "(seed ^ a == seed ^ b whenever a and b share a mask), so "
+                "rows silently reuse RNG streams; derive per-row seeds with "
+                "derive_row_seed(seed, experiment, tag) and per-trial "
+                "streams with Rng::for_stream (src/util/rng.hpp)",
+            )
+            break  # one finding per line is enough
+
+
 RULE_CHECKS = {
     RULE_NO_RAW_PARSE: check_no_raw_parse,
     RULE_NO_GLOBAL_RNG: check_no_global_rng,
@@ -499,6 +535,7 @@ RULE_CHECKS = {
     RULE_NO_WALLCLOCK: check_no_wallclock,
     RULE_NO_IOSTREAM: check_no_iostream_in_kernel,
     RULE_NO_UNORDERED_OUT: check_no_unordered_iteration_to_output,
+    RULE_NO_XOR_SEED: check_no_xor_seed_derivation,
 }
 
 

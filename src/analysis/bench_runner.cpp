@@ -266,7 +266,16 @@ int run_bench_cli(int argc, const char* const* argv) {
                  id.c_str(), config.trials,
                  static_cast<unsigned long long>(config.seed),
                  config.quick ? "quick" : "full");
-    const RunRecord record = run_registered_experiment(id, config);
+    RunRecord record;
+    try {
+      record = run_registered_experiment(id, config);
+    } catch (const std::exception& error) {
+      // Drivers reject unusable configs (e.g. E7 needs --trials >= 2) with
+      // a diagnostic instead of silently rewriting them; surface it as an
+      // input error, same as a malformed RADIO_* value.
+      std::fprintf(stderr, "radio_bench: %s: %s\n", id.c_str(), error.what());
+      return 2;
+    }
     total_seconds += record.wall_seconds;
     // Tables/notes/CSV: identical to the legacy bench_e* path.
     record.result.present(config);

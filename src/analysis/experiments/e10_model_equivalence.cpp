@@ -56,7 +56,8 @@ ExperimentResult run_e10_model_equivalence(const ExperimentConfig& config) {
       double cen_gnp = 0, cen_gnm = 0, dist_gnp = 0, dist_gnm = 0;
     };
     const auto trials = run_trials<Trial>(
-        config.trials, config.seed ^ (n * 613ULL), [&](int, Rng& rng) {
+        config.trials, derive_row_seed(config.seed, 10, n),
+        [&](int, Rng& rng) {
           Trial t;
           {
             const BroadcastInstance inst = make_broadcast_instance(params, rng);

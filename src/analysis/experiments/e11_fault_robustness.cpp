@@ -54,7 +54,7 @@ ExperimentResult run_e11_fault_robustness(const ExperimentConfig& config) {
     };
     const auto trials = run_trials<Trial>(
         config.trials,
-        config.seed ^ std::hash<std::string>{}(scenario.label),
+        derive_row_seed(config.seed, 11, stable_row_tag(scenario.label)),
         [&](int trial, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

@@ -57,7 +57,8 @@ ExperimentResult run_e12_gossip_scaling(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           std::max(2, config.trials / 2),
-          config.seed ^ (n * 131ULL + static_cast<std::uint64_t>(entry.kind)),
+          derive_row_seed(config.seed, 12, n,
+                          static_cast<std::uint64_t>(entry.kind)),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =
                 make_broadcast_instance(params, rng);

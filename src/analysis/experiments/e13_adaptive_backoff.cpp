@@ -62,7 +62,8 @@ ExperimentResult run_e13_adaptive_backoff(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           config.trials,
-          config.seed ^ (n * 19ULL + static_cast<std::uint64_t>(entry.kind)),
+          derive_row_seed(config.seed, 13, n,
+                          static_cast<std::uint64_t>(entry.kind)),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =
                 make_broadcast_instance(params, rng);

@@ -64,7 +64,8 @@ ExperimentResult run_e14_multisource(const ExperimentConfig& config) {
       bool completed = false;
     };
     const auto trials = run_trials<Trial>(
-        config.trials, config.seed ^ (k * 1009ULL), [&](int, Rng& rng) {
+        config.trials, derive_row_seed(config.seed, 14, k),
+        [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
           const std::vector<NodeId> sources =

@@ -89,8 +89,8 @@ ExperimentResult run_e15_structured_topologies(const ExperimentConfig& config) {
     for (const Entry& entry : entries) {
       const auto rounds = run_trials_double(
           std::max(2, config.trials / 2),
-          config.seed ^ std::hash<std::string>{}(topology.name) ^
-              static_cast<std::uint64_t>(entry.kind),
+          derive_row_seed(config.seed, 15, stable_row_tag(topology.name),
+                          static_cast<std::uint64_t>(entry.kind)),
           [&](int trial, Rng& rng) {
             const auto source = static_cast<NodeId>(
                 rng.uniform_below(g.num_nodes()));

@@ -68,7 +68,8 @@ ExperimentResult run_e1_centralized_scaling(const ExperimentConfig& config) {
         bool completed = false;
       };
       const auto trials = run_trials<Trial>(
-          config.trials, config.seed ^ (n * 131 + static_cast<NodeId>(d)),
+          config.trials,
+          derive_row_seed(config.seed, 1, n, static_cast<std::uint64_t>(d)),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =
                 make_broadcast_instance(params, rng);

@@ -53,7 +53,8 @@ ExperimentResult run_e3_distributed_scaling(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           config.trials,
-          config.seed ^ (n * 977 + (variant.all_informed_tail ? 7 : 0)),
+          derive_row_seed(config.seed, 3, n,
+                          variant.all_informed_tail ? 1 : 0),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =
                 make_broadcast_instance(params, rng);

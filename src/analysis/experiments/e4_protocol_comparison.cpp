@@ -127,7 +127,8 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
     if (entry.name == "flooding")
       budget = static_cast<std::uint32_t>(10.0 * ln_n);
     const auto trials = run_trials<TrialOutcome>(
-        config.trials, config.seed ^ std::hash<std::string>{}(entry.name),
+        config.trials,
+        derive_row_seed(config.seed, 4, stable_row_tag(entry.name)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
@@ -150,7 +151,9 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
   // Centralized Theorem 5 (separate path: build then play).
   {
     const auto trials = run_trials<TrialOutcome>(
-        config.trials, config.seed ^ 0xC3A5ULL, [&](int, Rng& rng) {
+        config.trials,
+        derive_row_seed(config.seed, 4, stable_row_tag("centralized-thm5")),
+        [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
           const NodeId source = pick_source(instance.graph, rng);
@@ -174,7 +177,9 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
   // and brittleness, not rounds — see tree_schedule.hpp and E11.
   {
     const auto trials = run_trials<TrialOutcome>(
-        config.trials, config.seed ^ 0x7EE5ULL, [&](int, Rng& rng) {
+        config.trials,
+        derive_row_seed(config.seed, 4, stable_row_tag("tree-schedule")),
+        [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
           const NodeId source = pick_source(instance.graph, rng);
@@ -197,7 +202,9 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
        {RumorMode::kPush, RumorMode::kPull, RumorMode::kPushPull}) {
     const auto budget = static_cast<std::uint32_t>(40.0 * ln_n);
     const auto trials = run_trials<TrialOutcome>(
-        config.trials, config.seed ^ (0xD00DULL + static_cast<int>(mode)),
+        config.trials,
+        derive_row_seed(config.seed, 4, stable_row_tag("rumor"),
+                        static_cast<std::uint64_t>(mode)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

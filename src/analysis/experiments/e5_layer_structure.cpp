@@ -50,7 +50,8 @@ ExperimentResult run_e5_layer_structure(const ExperimentConfig& config) {
     std::map<std::uint32_t, PerLayer> agg;
 
     const auto probes = run_trials<std::vector<LayerProbeRow>>(
-        config.trials, config.seed ^ static_cast<std::uint64_t>(regime.d * 31),
+        config.trials,
+        derive_row_seed(config.seed, 5, stable_row_tag(regime.name)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

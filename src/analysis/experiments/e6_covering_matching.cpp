@@ -67,7 +67,8 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
       static_cast<std::size_t>(0.3 * nd)};
   for (std::size_t y_size : y_sizes) {
     const auto fractions = run_trials_double(
-        config.trials, config.seed ^ (y_size * 7919), [&](int, Rng& rng) {
+        config.trials, derive_row_seed(config.seed, 6, 0, y_size),
+        [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
           const Split split =
@@ -93,7 +94,9 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
     const auto y_size = static_cast<std::size_t>(
         std::max(2.0, static_cast<double>(x_size) / (scale * d * d)));
     const auto successes = run_trials_double(
-        config.trials, config.seed ^ static_cast<std::uint64_t>(scale * 100),
+        config.trials,
+        derive_row_seed(config.seed, 6, 1,
+                        static_cast<std::uint64_t>(scale * 100)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
@@ -129,7 +132,8 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
       double cover_size = 0.0;
     };
     const auto outcomes = run_trials<Prop2>(
-        config.trials, config.seed ^ 0x9292ULL, [&](int, Rng& rng) {
+        config.trials, derive_row_seed(config.seed, 6, 2, 0),
+        [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params2, rng);
           const Split split =

@@ -40,7 +40,8 @@ ExperimentResult run_e8_dense_regime(const ExperimentConfig& config) {
       bool completed = false;
     };
     const auto trials = run_trials<Trial>(
-        config.trials, config.seed ^ static_cast<std::uint64_t>(f * 1e6),
+        config.trials,
+        derive_row_seed(config.seed, 8, static_cast<std::uint64_t>(f * 1e6)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

@@ -78,7 +78,7 @@ ExperimentResult run_e9_phase_ablation(const ExperimentConfig& config) {
     };
     const auto trials = run_trials<Trial>(
         config.trials,
-        config.seed ^ std::hash<std::string>{}(cfg.label),
+        derive_row_seed(config.seed, 9, stable_row_tag(cfg.label)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

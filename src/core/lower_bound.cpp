@@ -29,12 +29,8 @@ void ObliviousSequenceProtocol::select_transmitters(
     if (session.informed(v) && (q >= 1.0 || rng.bernoulli(q))) out.push_back(v);
 }
 
-namespace {
-
-/// The Theorem-7 probability schedule as an explicit sequence, so the search
-/// space provably contains the paper's own algorithm.
-std::vector<double> theorem7_sequence(const ProtocolContext& ctx,
-                                      std::uint32_t budget) {
+std::vector<double> theorem7_oblivious_sequence(const ProtocolContext& ctx,
+                                                std::uint32_t budget) {
   const double n = static_cast<double>(ctx.n);
   const double d = std::max(2.0, ctx.expected_degree());
   const auto switch_round = static_cast<std::uint32_t>(
@@ -52,6 +48,8 @@ std::vector<double> theorem7_sequence(const ProtocolContext& ctx,
   }
   return probs;
 }
+
+namespace {
 
 std::vector<double> random_sequence(NodeId n, std::uint32_t budget, Rng& rng) {
   // Log-uniform per-round probability in [1/n, 1]: covers aggressive
@@ -75,7 +73,7 @@ ObliviousSearchOutcome search_oblivious_schedules(
 
   std::vector<std::vector<double>> candidates;
   candidates.reserve(static_cast<std::size_t>(params.num_candidates));
-  candidates.push_back(theorem7_sequence(ctx, params.round_budget));
+  candidates.push_back(theorem7_oblivious_sequence(ctx, params.round_budget));
   if (params.num_candidates >= 2) {
     const double d = std::max(2.0, ctx.expected_degree());
     candidates.emplace_back(params.round_budget, std::min(1.0, 1.0 / d));

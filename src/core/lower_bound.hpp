@@ -66,6 +66,13 @@ struct ObliviousSearchOutcome {
   int best_candidate = -1;
 };
 
+/// The Theorem-7 probability schedule as an explicit oblivious sequence
+/// (flood for log n/log d rounds, one catch-up round, then 1/d forever), so
+/// search spaces provably contain the paper's own algorithm. Length is at
+/// least `budget` rounds.
+std::vector<double> theorem7_oblivious_sequence(const ProtocolContext& ctx,
+                                                std::uint32_t budget);
+
 /// Samples random per-round probability sequences (log-uniform in [1/n, 1]),
 /// always including (a) the Theorem-7 schedule and (b) the constant-1/d
 /// sequence, and measures the best completion time on `g`.

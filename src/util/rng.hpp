@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 #include "util/assert.hpp"
 
@@ -132,6 +133,54 @@ class Xoshiro256StarStar {
 /// Library-wide generator alias; algorithms take `Rng&` so the engine can be
 /// swapped in one place.
 using Rng = Xoshiro256StarStar;
+
+/// Stable 64-bit tag for string-keyed table rows (protocol names, scenario
+/// labels). FNV-1a, fixed here forever: std::hash<std::string> is
+/// implementation-defined, so seeding from it would change results across
+/// standard libraries.
+constexpr std::uint64_t stable_row_tag(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Per-row base seed for experiment drivers: hashes (seed, experiment_id,
+/// row_tag) through SplitMix64 SEQUENTIALLY, each component getting a full
+/// avalanche before the next is injected — the same discipline as
+/// Rng::for_stream above and pinned by golden values in
+/// tests/util/test_rng.cpp.
+///
+/// This replaces the ad-hoc `config.seed ^ (n*k + …)` pre-mixes the drivers
+/// used to build per-row seeds with: XOR-ing structured row coordinates into
+/// the seed lets distinct rows collide trivially (E1's `n*131 + d` gave
+/// (n, d) and (n', d') the same trial streams whenever n*131+d == n'*131+d',
+/// and any two rows whose tags XOR to the same mask share every draw), so
+/// supposedly independent table rows silently reran identical Monte-Carlo
+/// samples. radio_lint's `no-xor-seed-derivation` rule keeps the XOR form
+/// from coming back.
+constexpr std::uint64_t derive_row_seed(std::uint64_t seed,
+                                        std::uint64_t experiment_id,
+                                        std::uint64_t row_tag) noexcept {
+  SplitMix64 seed_mix(seed);
+  SplitMix64 experiment_mix(seed_mix.next() ^ experiment_id);
+  SplitMix64 row_mix(experiment_mix.next() ^ row_tag);
+  return row_mix.next();
+}
+
+/// Two-coordinate rows (e.g. a (n, protocol-kind) grid): the first tag is
+/// fully avalanched before the second is injected, so pairs cannot cancel
+/// the way `tag1 * k + tag2` arithmetic could.
+constexpr std::uint64_t derive_row_seed(std::uint64_t seed,
+                                        std::uint64_t experiment_id,
+                                        std::uint64_t row_tag,
+                                        std::uint64_t row_tag2) noexcept {
+  SplitMix64 row2_mix(derive_row_seed(seed, experiment_id, row_tag) ^
+                      row_tag2);
+  return row2_mix.next();
+}
 
 /// Word-parallel exact Bernoulli sampler: next_word() returns 64 independent
 /// Bernoulli(p) bits per call, EXACTLY distributed (not an approximation).

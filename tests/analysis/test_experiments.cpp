@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
+#include "analysis/bench_runner.hpp"
 #include "analysis/experiment_registry.hpp"
 #include "analysis/experiments.hpp"
+#include "util/json.hpp"
 
 namespace radio {
 namespace {
@@ -81,10 +84,47 @@ TEST(Experiments, E6CoversAllScenarios) {
   EXPECT_EQ(r.table.num_rows(), 7u);  // 3 cover + 3 matching + 1 prop2
 }
 
-TEST(Experiments, E7ProducesBothBounds) {
-  const ExperimentResult r = run_e7_lower_bounds(tiny_config());
+TEST(Experiments, E7ProducesBoundsCertificatesAndStressRows) {
+  const ExperimentConfig config = tiny_config();
+  const ExperimentResult r = run_e7_lower_bounds(config);
   expect_well_formed(r, "E7");
-  EXPECT_EQ(r.table.num_rows(), 4u + 6u);  // 4 Thm8 rows + 2x3 Thm6 rows
+  // 4 Thm8 rows + 2x3 Thm6 rows + 7 stress replays.
+  EXPECT_EQ(r.table.num_rows(), 4u + 6u + 7u);
+  EXPECT_EQ(r.fits().size(), 1u);
+
+  // Certificates round-trip through the metrics.jsonl encoding: every
+  // adversary row's witness/survived cells survive the JSON lines intact.
+  RunRecord record;
+  record.id = "E7";
+  record.config = config;
+  record.result = r;
+  const std::vector<std::string> lines = metrics_lines(record);
+  ASSERT_EQ(lines.size(), r.table.num_rows() + 1u);  // rows + summary line
+  std::size_t certified = 0;
+  for (std::size_t row = 0; row < r.table.num_rows(); ++row) {
+    const Json line = Json::parse(lines[row]);
+    EXPECT_EQ(line.at("experiment").as_string(), "E7");
+    const Json& cells = line.at("cells");
+    ASSERT_TRUE(cells.contains("witness"));
+    ASSERT_TRUE(cells.contains("survived"));
+    const std::string& witness = cells.at("witness").as_string();
+    EXPECT_EQ(witness, r.table.at(row, 9));
+    if (witness == "-") continue;  // stress rows carry no certificate
+    ++certified;
+    // A certified witness is a node id, and it survived a bounded number
+    // of rounds (both render as plain integers).
+    EXPECT_LT(std::stoul(witness), 1u << 13);
+    EXPECT_LE(std::stoul(cells.at("survived").as_string()),
+              std::stoul(r.table.at(row, 2)));
+  }
+  EXPECT_EQ(certified, 10u);  // every adversary row certifies its hardest
+}
+
+TEST(Experiments, E7RejectsSingleTrialConfigs) {
+  ExperimentConfig config = tiny_config();
+  config.trials = 1;
+  // Diagnose, never clamp: the old driver silently rewrote the count.
+  EXPECT_THROW(run_e7_lower_bounds(config), std::runtime_error);
 }
 
 TEST(Experiments, E8SweepsDenseRegime) {

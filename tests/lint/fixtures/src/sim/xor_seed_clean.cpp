@@ -1,0 +1,13 @@
+// Fixture: seed handling that must NOT trip no-xor-seed-derivation.
+#include <cstdint>
+
+std::uint64_t derive_row_seed(std::uint64_t, std::uint64_t, std::uint64_t);
+
+std::uint64_t run(std::uint64_t n) {
+  const std::uint64_t seed = 42;
+  const std::uint64_t row = derive_row_seed(seed, 7, n);
+  const std::uint64_t hash = (n * 31) ^ (n >> 7);  // XOR without seeds is ok
+  const std::uint64_t flip = 1u ^ static_cast<unsigned>(n & 1);
+  const char* text = "seed ^ tag inside a string literal never counts";
+  return row + hash + flip + seed + static_cast<std::uint64_t>(text[0]);
+}

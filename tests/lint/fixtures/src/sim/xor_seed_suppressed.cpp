@@ -1,0 +1,8 @@
+// Fixture: a justified allow() silences the XOR-seed finding.
+#include <cstdint>
+
+std::uint64_t run(std::uint64_t n) {
+  const std::uint64_t base_seed = 9;
+  // radio-lint: allow(no-xor-seed-derivation) -- fixture exercises suppression
+  return base_seed ^ n;
+}

@@ -1,0 +1,11 @@
+// Fixture: XOR-offset seed derivations the rule must flag.
+#include <cstdint>
+
+std::uint64_t run(std::uint64_t n) {
+  const std::uint64_t config_seed = 42;
+  const std::uint64_t row = config_seed ^ (n * 31);
+  std::uint64_t mixed = 7;
+  mixed ^= config_seed;
+  const std::uint64_t tag = (n * 57) ^ config_seed;
+  return row + mixed + tag;
+}

@@ -124,6 +124,26 @@ class NoUnorderedIterationToOutput(unittest.TestCase):
         self.assertEqual(scan("src/sim/unordered_output_suppressed.cpp"), [])
 
 
+class NoXorSeedDerivation(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/xor_seed_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_NO_XOR_SEED)
+        self.assertEqual([f.line for f in hits], [6, 8, 9])
+        self.assertIn("derive_row_seed", hits[0].message)
+        self.assertIn("'config_seed'", hits[0].message)
+
+    def test_negative(self):
+        self.assertEqual(scan("src/sim/xor_seed_clean.cpp"), [])
+
+    def test_suppressed(self):
+        self.assertEqual(scan("src/sim/xor_seed_suppressed.cpp"), [])
+
+    def test_real_rng_header_is_allowlisted(self):
+        sf = radio_lint.load_source("src/util/rng.hpp", REPO_ROOT)
+        self.assertEqual(
+            by_rule(radio_lint.scan_file(sf), radio_lint.RULE_NO_XOR_SEED), [])
+
+
 class SuppressionMechanics(unittest.TestCase):
     def test_errors(self):
         findings = scan("src/sim/suppression_errors.cpp")
@@ -154,8 +174,8 @@ class EndToEnd(unittest.TestCase):
         self.assertEqual(code, 1)
         lines = [l for l in out.getvalue().splitlines() if l]
         # 4 raw-parse + 4 global-rng + 1 stream + 3 wallclock + 4 iostream
-        # + 2 unordered + 3 suppression-mechanics findings
-        self.assertEqual(len(lines), 21)
+        # + 2 unordered + 3 xor-seed + 3 suppression-mechanics findings
+        self.assertEqual(len(lines), 24)
         for line in lines:
             self.assertRegex(line, r"^[^:]+:\d+: radio-lint\([a-z-]+\): ")
 

@@ -339,5 +339,45 @@ INSTANTIATE_TEST_SUITE_P(Probabilities, BernoulliWordSweep,
                          ::testing::Values(0.01, 0.1, 0.25, 1.0 / 3.0, 0.5,
                                            0.75, 0.9, 0.99));
 
+// ---- derive_row_seed / stable_row_tag: the sanctioned per-row derivation.
+
+TEST(DeriveRowSeed, GoldenValuesArePinned) {
+  // Pinned outputs: any change to the mixing chain is a deliberate,
+  // golden-updating event (it reshuffles every experiment's RNG streams).
+  static_assert(derive_row_seed(42, 1, 0) == 0x93be8420bb55b94cULL);
+  static_assert(derive_row_seed(42, 7, 1024) == 0xec62ae0c3696141bULL);
+  static_assert(derive_row_seed(42, 7, 1024, 3) == 0xe4f258f2f764c507ULL);
+  static_assert(stable_row_tag("") == 0xcbf29ce484222325ULL);  // FNV-1a basis
+  static_assert(stable_row_tag("rumor") == 0x7255876a2f6ea32eULL);
+  SUCCEED();
+}
+
+TEST(DeriveRowSeed, FixesOldXorGridCollision) {
+  // Regression for the XOR-offset bug class the drivers used to have: with
+  // per-row seeds of the form `seed ^ (n * 131 + d)`, the grid rows
+  // (n=1024, d=136) and (n=1025, d=5) land on the SAME tag — and therefore
+  // shared every RNG stream.
+  const std::uint64_t seed = 42;
+  ASSERT_EQ(seed ^ (1024 * 131ULL + 136), seed ^ (1025 * 131ULL + 5));
+  EXPECT_NE(derive_row_seed(seed, 1, 1024, 136),
+            derive_row_seed(seed, 1, 1025, 5));
+}
+
+TEST(DeriveRowSeed, SeparatesExperimentsRowsAndSeeds) {
+  // Same row tag under different experiment ids, seeds, or secondary tags
+  // must yield unrelated seeds.
+  EXPECT_NE(derive_row_seed(42, 1, 512), derive_row_seed(42, 3, 512));
+  EXPECT_NE(derive_row_seed(42, 1, 512), derive_row_seed(43, 1, 512));
+  EXPECT_NE(derive_row_seed(42, 1, 512, 0), derive_row_seed(42, 1, 512, 1));
+  // The 2-tag overload is not the 1-tag overload of some merged value.
+  EXPECT_NE(derive_row_seed(42, 1, 512, 0), derive_row_seed(42, 1, 512));
+}
+
+TEST(StableRowTag, MatchesAcrossCallsAndDiffersAcrossNames) {
+  EXPECT_EQ(stable_row_tag("decay (BGI)"), stable_row_tag("decay (BGI)"));
+  EXPECT_NE(stable_row_tag("push"), stable_row_tag("pull"));
+  EXPECT_NE(stable_row_tag("a"), stable_row_tag("b"));
+}
+
 }  // namespace
 }  // namespace radio
