@@ -11,6 +11,7 @@
 #include "gossip/gossip_protocols.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/stream_tags.hpp"
 
 int main(int argc, char** argv) try {
   radio::CliArgs args(argc, argv);
@@ -31,7 +32,7 @@ int main(int argc, char** argv) try {
       {"protocol", "rounds", "transmissions", "coverage", "completed"});
   auto contend = [&](radio::GossipProtocol& protocol, std::uint32_t budget) {
     radio::GossipSession session(instance.graph);
-    radio::Rng run_rng = radio::Rng::for_stream(seed, 100);
+    radio::Rng run_rng = radio::Rng::for_stream(seed, radio::stream_tags::kExampleGossipRunStream);
     const radio::GossipRun run = radio::run_gossip(
         protocol, radio::context_for(instance), session, run_rng, budget);
     table.row()

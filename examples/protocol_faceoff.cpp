@@ -21,6 +21,7 @@
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/stream_tags.hpp"
 
 int main(int argc, char** argv) try {
   radio::CliArgs args(argc, argv);
@@ -48,7 +49,9 @@ int main(int argc, char** argv) try {
     std::vector<double> rounds, tx;
     int completed = 0;
     for (int r = 0; r < runs; ++r) {
-      radio::Rng run_rng = radio::Rng::for_stream(seed, 1000 + static_cast<std::uint64_t>(r));
+      radio::Rng run_rng = radio::Rng::for_stream(
+          seed, radio::stream_tags::kExampleFaceoffRunStreamBase +
+                    static_cast<std::uint64_t>(r));
       const radio::BroadcastRun run = radio::broadcast_with(
           protocol, ctx, instance.graph, source, run_rng, budget);
       rounds.push_back(static_cast<double>(run.rounds));
@@ -69,7 +72,7 @@ int main(int argc, char** argv) try {
 
   // Centralized Theorem-5 schedule replayed through the protocol adapter.
   {
-    radio::Rng build_rng = radio::Rng::for_stream(seed, 99);
+    radio::Rng build_rng = radio::Rng::for_stream(seed, radio::stream_tags::kExampleFaceoffBuildStream);
     const radio::CentralizedResult built = radio::build_centralized_schedule(
         instance.graph, source, d, build_rng);
     radio::ScheduledProtocol protocol(built.schedule);

@@ -18,6 +18,7 @@
 #include "sim/runner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/stream_tags.hpp"
 
 int main(int argc, char** argv) try {
   radio::CliArgs args(argc, argv);
@@ -39,7 +40,8 @@ int main(int argc, char** argv) try {
       instance.graph.num_nodes(), crash, source, rng);
   faults.loss = loss;
   faults.seed =
-      radio::derive_row_seed(seed, 0, radio::stable_row_tag("loss-faults"));
+      radio::derive_row_seed(seed, radio::stream_tags::kExampleResilienceDrill,
+                             radio::stream_tags::kRowLossFaults);
   const std::size_t crashed = faults.crashed.count();
 
   std::printf(
@@ -56,7 +58,8 @@ int main(int argc, char** argv) try {
   const auto budget = static_cast<std::uint32_t>(150.0 * ln_n);
   auto drill = [&](radio::Protocol& protocol, std::uint32_t round_budget) {
     radio::BroadcastSession session(instance.graph, source, faults);
-    radio::Rng run_rng = radio::Rng::for_stream(seed, 7);
+    radio::Rng run_rng = radio::Rng::for_stream(
+        seed, radio::stream_tags::kExampleResilienceRunStream);
     const radio::BroadcastRun run =
         radio::run_protocol(protocol, radio::context_for(instance), session,
                             run_rng, round_budget);

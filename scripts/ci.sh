@@ -6,11 +6,20 @@
 # registry completeness and manifest well-formedness, not performance.
 #
 # Static-analysis stages (docs/static-analysis.md):
-#   * radio-lint runs first — it needs no build and fails fast on invariant
-#     violations (raw parsing, global RNG, wall clocks in sim code, ...).
+#   * radio-lint runs right after the configure step, before the full build —
+#     it needs only the sources plus compile_commands.json and fails fast on
+#     invariant violations (raw parsing, global RNG, wall clocks in sim code,
+#     unregistered stream tags, layer-map violations, ...). Diff-aware: the
+#     per-file rules get a quick dedicated pass over just the files changed
+#     since the merge-base with origin/main; the whole-tree passes
+#     (layer-conformance include graph, stream-tag-registry) always run over
+#     the full tree because their invariants are global.
 #   * clang-tidy runs diff-aware against origin/main when the tool is
 #     installed (bugprone/concurrency/performance profile in .clang-tidy);
 #     absent tool = announced skip, never a silent pass of a broken config.
+#   * GCC -fanalyzer is opt-in via RADIO_CI_FANALYZER=1 (mirrors the
+#     sanitizer-stage pattern): a separate build dir compiled with
+#     -fanalyzer, smoke ctest subset to prove the binaries still work.
 #
 # Sanitizer stages (skippable via RADIO_CI_SKIP_SANITIZERS=1 for the fast
 # local loop) share one parameterized rebuild/ctest/fuzz function:
@@ -29,12 +38,36 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-# ---------------------------------------------------------------- radio-lint
-python3 scripts/radio_lint.py
-
-# ------------------------------------------------------- build + full ctest
+# ------------------------------------------------------------- configure
+# Configure before linting: the layer/tag passes want compile_commands.json
+# (the project always exports it) but none of the compiled artifacts.
 rm -rf "$BUILD_DIR"
 cmake -B "$BUILD_DIR" -S .
+
+# ---------------------------------------------------------------- radio-lint
+# Diff-aware fast path: per-file rules over just the files changed since the
+# merge-base, so a violation in the diff fails within a second.
+BASE="$(git merge-base HEAD origin/main 2>/dev/null || true)"
+if [[ -n "$BASE" ]]; then
+  LINT_FILES=()
+  while IFS= read -r f; do
+    [[ -f "$f" ]] && LINT_FILES+=("$f")
+  done < <(git diff --name-only "$BASE" -- \
+             'src/**' 'bench/**' 'examples/**' \
+           | grep -E '\.(cpp|cc|cxx|hpp|h|hh|inl)$' || true)
+  if [[ ${#LINT_FILES[@]} -gt 0 ]]; then
+    echo "ci: radio-lint (diff) over ${#LINT_FILES[@]} file(s)" >&2
+    python3 scripts/radio_lint.py "${LINT_FILES[@]}"
+  fi
+fi
+# Whole-tree invariants cannot be diff-scoped: the include-graph and tag
+# registry passes by name (the acceptance gate), then every per-file rule
+# over the scan roots plus all translation units CMake knows about.
+python3 scripts/radio_lint.py --rule layer-conformance --rule stream-tag-registry
+python3 scripts/radio_lint.py \
+  --compile-commands "$BUILD_DIR/compile_commands.json"
+
+# ------------------------------------------------------- build + full ctest
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
@@ -158,4 +191,15 @@ if [[ "${RADIO_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     'TrialRunner|ThreadDeterminism|EngineEquivalence|DenseKernel|EngineDense|BatchDeterminism|BatchEquivalence|BatchEngine|StreamDeterminism|StreamSession|StreamWorkload|Adversary|FixedSmallSet|GuidedSmallSetSearch|GuidedSearchFixture' \
     nofuzz \
     OMP_NUM_THREADS=4 TSAN_OPTIONS="halt_on_error=1"
+fi
+
+# ------------------------------------------------------------- -fanalyzer
+# Opt-in deep static analysis (GCC >= 10): recompile the tree with
+# -fanalyzer's interprocedural path exploration. Any analyzer diagnostic is
+# promoted to an error so findings gate the stage; off by default because
+# the pass multiplies compile time several-fold.
+if [[ "${RADIO_CI_FANALYZER:-0}" == "1" ]]; then
+  run_sanitizer_stage fanalyzer \
+    "-fanalyzer -Werror=analyzer-possible-null-dereference -Werror=analyzer-null-dereference -Werror=analyzer-use-after-free -Werror=analyzer-double-free" \
+    'Smoke' nofuzz
 fi

@@ -17,6 +17,7 @@
 #include "graph/components.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -56,7 +57,7 @@ ExperimentResult run_e10_model_equivalence(const ExperimentConfig& config) {
       double cen_gnp = 0, cen_gnm = 0, dist_gnp = 0, dist_gnm = 0;
     };
     const auto trials = run_trials<Trial>(
-        config.trials, derive_row_seed(config.seed, 10, n),
+        config.trials, derive_row_seed(config.seed, stream_tags::kE10ModelEquivalence, n),
         [&](int, Rng& rng) {
           Trial t;
           {

@@ -17,6 +17,7 @@
 #include "sim/faults.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -54,7 +55,7 @@ ExperimentResult run_e11_fault_robustness(const ExperimentConfig& config) {
     };
     const auto trials = run_trials<Trial>(
         config.trials,
-        derive_row_seed(config.seed, 11, stable_row_tag(scenario.label)),
+        derive_row_seed(config.seed, stream_tags::kE11FaultRobustness, stable_row_tag(scenario.label)),
         [&](int trial, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

@@ -19,6 +19,7 @@
 #include "gossip/gossip_protocols.hpp"
 #include "util/fit.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -57,7 +58,7 @@ ExperimentResult run_e12_gossip_scaling(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           std::max(2, config.trials / 2),
-          derive_row_seed(config.seed, 12, n,
+          derive_row_seed(config.seed, stream_tags::kE12GossipScaling, n,
                           static_cast<std::uint64_t>(entry.kind)),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =

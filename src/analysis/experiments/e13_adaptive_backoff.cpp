@@ -21,6 +21,7 @@
 #include "sim/runner.hpp"
 #include "util/fit.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -62,7 +63,7 @@ ExperimentResult run_e13_adaptive_backoff(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           config.trials,
-          derive_row_seed(config.seed, 13, n,
+          derive_row_seed(config.seed, stream_tags::kE13AdaptiveBackoff, n,
                           static_cast<std::uint64_t>(entry.kind)),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =

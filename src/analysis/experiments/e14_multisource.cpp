@@ -24,6 +24,7 @@
 #include "core/distributed.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -64,7 +65,7 @@ ExperimentResult run_e14_multisource(const ExperimentConfig& config) {
       bool completed = false;
     };
     const auto trials = run_trials<Trial>(
-        config.trials, derive_row_seed(config.seed, 14, k),
+        config.trials, derive_row_seed(config.seed, stream_tags::kE14Multisource, k),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

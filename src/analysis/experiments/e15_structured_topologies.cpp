@@ -24,6 +24,7 @@
 #include "singleport/rumor.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -89,7 +90,7 @@ ExperimentResult run_e15_structured_topologies(const ExperimentConfig& config) {
     for (const Entry& entry : entries) {
       const auto rounds = run_trials_double(
           std::max(2, config.trials / 2),
-          derive_row_seed(config.seed, 15, stable_row_tag(topology.name),
+          derive_row_seed(config.seed, stream_tags::kE15StructuredTopologies, stable_row_tag(topology.name),
                           static_cast<std::uint64_t>(entry.kind)),
           [&](int trial, Rng& rng) {
             const auto source = static_cast<NodeId>(

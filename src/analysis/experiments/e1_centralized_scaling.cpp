@@ -19,6 +19,7 @@
 #include "core/centralized.hpp"
 #include "util/fit.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -69,7 +70,7 @@ ExperimentResult run_e1_centralized_scaling(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           config.trials,
-          derive_row_seed(config.seed, 1, n, static_cast<std::uint64_t>(d)),
+          derive_row_seed(config.seed, stream_tags::kE1CentralizedScaling, n, static_cast<std::uint64_t>(d)),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =
                 make_broadcast_instance(params, rng);

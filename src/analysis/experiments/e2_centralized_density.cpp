@@ -22,6 +22,7 @@
 #include "core/centralized.hpp"
 #include "graph/implicit_gnp.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -69,7 +70,7 @@ ExperimentResult run_e2_implicit_giant(const ExperimentConfig& config,
   const GnpParams params = GnpParams::with_degree(n, d);
 
   const auto trials = run_trials<E2Trial>(
-      config.trials, Rng::for_stream(config.seed, 0)(), [&](int, Rng& rng) {
+      config.trials, Rng::for_stream(config.seed, stream_tags::kE2GiantRowStream)(), [&](int, Rng& rng) {
         const ImplicitGnp g(n, params.p, rng());
         const NodeId source = static_cast<NodeId>(rng.uniform_below(n));
         const CentralizedResult built =

@@ -15,6 +15,7 @@
 #include "sim/runner.hpp"
 #include "util/fit.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -53,7 +54,7 @@ ExperimentResult run_e3_distributed_scaling(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Trial>(
           config.trials,
-          derive_row_seed(config.seed, 3, n,
+          derive_row_seed(config.seed, stream_tags::kE3DistributedScaling, n,
                           variant.all_informed_tail ? 1 : 0),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =

@@ -30,6 +30,7 @@
 #include "sim/runner.hpp"
 #include "singleport/rumor.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -128,7 +129,7 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
       budget = static_cast<std::uint32_t>(10.0 * ln_n);
     const auto trials = run_trials<TrialOutcome>(
         config.trials,
-        derive_row_seed(config.seed, 4, stable_row_tag(entry.name)),
+        derive_row_seed(config.seed, stream_tags::kE4ProtocolComparison, stable_row_tag(entry.name)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
@@ -152,7 +153,7 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
   {
     const auto trials = run_trials<TrialOutcome>(
         config.trials,
-        derive_row_seed(config.seed, 4, stable_row_tag("centralized-thm5")),
+        derive_row_seed(config.seed, stream_tags::kE4ProtocolComparison, stream_tags::kRowCentralizedThm5),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
@@ -178,7 +179,7 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
   {
     const auto trials = run_trials<TrialOutcome>(
         config.trials,
-        derive_row_seed(config.seed, 4, stable_row_tag("tree-schedule")),
+        derive_row_seed(config.seed, stream_tags::kE4ProtocolComparison, stream_tags::kRowTreeSchedule),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
@@ -203,7 +204,7 @@ ExperimentResult run_e4_protocol_comparison(const ExperimentConfig& config) {
     const auto budget = static_cast<std::uint32_t>(40.0 * ln_n);
     const auto trials = run_trials<TrialOutcome>(
         config.trials,
-        derive_row_seed(config.seed, 4, stable_row_tag("rumor"),
+        derive_row_seed(config.seed, stream_tags::kE4ProtocolComparison, stream_tags::kRowRumor,
                         static_cast<std::uint64_t>(mode)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =

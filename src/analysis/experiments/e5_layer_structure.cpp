@@ -20,6 +20,7 @@
 #include "analysis/workload.hpp"
 #include "core/layer_probe.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -51,7 +52,7 @@ ExperimentResult run_e5_layer_structure(const ExperimentConfig& config) {
 
     const auto probes = run_trials<std::vector<LayerProbeRow>>(
         config.trials,
-        derive_row_seed(config.seed, 5, stable_row_tag(regime.name)),
+        derive_row_seed(config.seed, stream_tags::kE5LayerStructure, stable_row_tag(regime.name)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

@@ -19,6 +19,7 @@
 #include "analysis/workload.hpp"
 #include "graph/covering.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -67,7 +68,8 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
       static_cast<std::size_t>(0.3 * nd)};
   for (std::size_t y_size : y_sizes) {
     const auto fractions = run_trials_double(
-        config.trials, derive_row_seed(config.seed, 6, 0, y_size),
+        config.trials, derive_row_seed(config.seed, stream_tags::kE6CoveringMatching,
+                        stream_tags::kE6RowSampledCover, y_size),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);
@@ -95,7 +97,8 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
         std::max(2.0, static_cast<double>(x_size) / (scale * d * d)));
     const auto successes = run_trials_double(
         config.trials,
-        derive_row_seed(config.seed, 6, 1,
+        derive_row_seed(config.seed, stream_tags::kE6CoveringMatching,
+                        stream_tags::kE6RowPrivateMatching,
                         static_cast<std::uint64_t>(scale * 100)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
@@ -132,7 +135,9 @@ ExperimentResult run_e6_covering_matching(const ExperimentConfig& config) {
       double cover_size = 0.0;
     };
     const auto outcomes = run_trials<Prop2>(
-        config.trials, derive_row_seed(config.seed, 6, 2, 0),
+        config.trials, derive_row_seed(config.seed, stream_tags::kE6CoveringMatching,
+                        stream_tags::kE6RowProposition2,
+                        stream_tags::kSubRowNone),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params2, rng);

@@ -39,6 +39,7 @@
 #include "sim/runner.hpp"
 #include "util/fit.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 namespace {
@@ -127,7 +128,7 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
       search.batch_lanes = lanes;
 
       const std::uint64_t row_seed =
-          derive_row_seed(config.seed, 7, stable_row_tag("thm8"), n);
+          derive_row_seed(config.seed, stream_tags::kE7LowerBounds, stream_tags::kRowThm8, n);
       std::vector<std::vector<double>> schedules(
           static_cast<std::size_t>(config.trials));
       const auto trials = run_trials<GuidedTrial>(
@@ -213,7 +214,7 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<Thm6Trial>(
           config.trials,
-          derive_row_seed(config.seed, 7, stable_row_tag("thm6"), n),
+          derive_row_seed(config.seed, stream_tags::kE7LowerBounds, stream_tags::kRowThm6, n),
           [&](int, Rng& rng) {
             const BroadcastInstance instance =
                 make_broadcast_instance(params, rng);
@@ -342,7 +343,7 @@ ExperimentResult run_e7_lower_bounds(const ExperimentConfig& config) {
       };
       const auto trials = run_trials<StressTrial>(
           config.trials,
-          derive_row_seed(config.seed, 7, stable_row_tag("stress"),
+          derive_row_seed(config.seed, stream_tags::kE7LowerBounds, stream_tags::kRowStress,
                           stable_row_tag(entry.name)),
           [&](int, Rng& rng) {
             const std::unique_ptr<Protocol> protocol =

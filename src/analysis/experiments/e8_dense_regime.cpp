@@ -16,6 +16,7 @@
 #include "analysis/workload.hpp"
 #include "core/centralized.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -41,7 +42,7 @@ ExperimentResult run_e8_dense_regime(const ExperimentConfig& config) {
     };
     const auto trials = run_trials<Trial>(
         config.trials,
-        derive_row_seed(config.seed, 8, static_cast<std::uint64_t>(f * 1e6)),
+        derive_row_seed(config.seed, stream_tags::kE8DenseRegime, static_cast<std::uint64_t>(f * 1e6)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

@@ -18,6 +18,7 @@
 #include "analysis/workload.hpp"
 #include "core/centralized.hpp"
 #include "util/stats.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
@@ -78,7 +79,7 @@ ExperimentResult run_e9_phase_ablation(const ExperimentConfig& config) {
     };
     const auto trials = run_trials<Trial>(
         config.trials,
-        derive_row_seed(config.seed, 9, stable_row_tag(cfg.label)),
+        derive_row_seed(config.seed, stream_tags::kE9PhaseAblation, stable_row_tag(cfg.label)),
         [&](int, Rng& rng) {
           const BroadcastInstance instance =
               make_broadcast_instance(params, rng);

@@ -39,14 +39,15 @@
 #include "sim/session.hpp"
 #include "sim/stream/message_queue.hpp"
 #include "sim/stream/streaming_protocol.hpp"
+#include "util/stream_tags.hpp"
 
 namespace radio {
 
-/// Sub-stream tag bits for the session's two generators. Trial indices are
-/// small integers, so setting a high bit keeps (seed, tag | stream) disjoint
-/// from every (seed, trial) stream run_trials derives.
-inline constexpr std::uint64_t kArrivalStreamTag = std::uint64_t{1} << 62;
-inline constexpr std::uint64_t kProtocolStreamTag = std::uint64_t{1} << 63;
+/// The session's two sub-stream tag bits live in the central registry
+/// (util/stream_tags.hpp, compile-checked against every other tag in the
+/// tree); re-exported here because the session is their primary consumer.
+using stream_tags::kArrivalStreamTag;
+using stream_tags::kProtocolStreamTag;
 
 struct StreamConfig {
   double rate = 0.25;         ///< λ: expected message arrivals per round

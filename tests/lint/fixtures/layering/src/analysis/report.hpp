@@ -1,0 +1,9 @@
+// Fixture: top-layer header; downward includes are always legal.
+#pragma once
+#include <vector>
+
+#include "util/base.hpp"
+
+struct Report {
+  std::vector<Base> rows;
+};

@@ -1,0 +1,2 @@
+// Fixture: a file whose directory appears in no layer's paths.
+int orphan() { return 1; }

@@ -1,0 +1,7 @@
+// Fixture: one half of an include cycle inside the sim layer.
+#pragma once
+#include "sim/cycle_b.hpp"
+
+struct CycleA {
+  int a = 0;
+};

@@ -1,0 +1,7 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+#include "sim/cycle_a.hpp"
+
+struct CycleB {
+  int b = 0;
+};

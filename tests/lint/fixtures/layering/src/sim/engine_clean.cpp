@@ -1,0 +1,6 @@
+// Fixture: sim including util and a declared external — fully conformant.
+#include <vector>
+
+#include "util/base.hpp"
+
+int count(const std::vector<Base>& v) { return static_cast<int>(v.size()); }

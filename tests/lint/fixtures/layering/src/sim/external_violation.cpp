@@ -1,0 +1,4 @@
+// Fixture: an external header the sim layer does not declare.
+#include <thread>
+
+int hw() { return static_cast<int>(std::thread::hardware_concurrency()); }

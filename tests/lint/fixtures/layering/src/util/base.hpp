@@ -1,0 +1,7 @@
+// Fixture: bottom-layer header, clean.
+#pragma once
+#include <cstdint>
+
+struct Base {
+  std::uint64_t id = 0;
+};

@@ -1,0 +1,5 @@
+// Fixture: a bare allow() without justification is itself a finding.
+#pragma once
+#include "analysis/report.hpp"  // radio-lint: allow(layer-conformance)
+
+inline bool bare(const Report& r) { return r.rows.empty(); }

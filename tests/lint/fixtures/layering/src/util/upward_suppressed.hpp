@@ -1,0 +1,5 @@
+// Fixture: a justified allow() silences the upward include.
+#pragma once
+#include "analysis/report.hpp"  // radio-lint: allow(layer-conformance) -- fixture: sanctioned upward edge
+
+inline bool empty(const Report& r) { return r.rows.empty(); }

@@ -1,0 +1,5 @@
+// Fixture: util reaching UP into analysis — must trip layer-conformance.
+#pragma once
+#include "analysis/report.hpp"
+
+inline int rows(const Report& r) { return static_cast<int>(r.rows.size()); }

@@ -1,0 +1,17 @@
+// Fixture: stream/tag usage that must NOT trip stream-tag-registry.
+#include <cstdint>
+
+// A registered-style named constant without shift arithmetic is fine here;
+// only shift-defined tags and literal call arguments belong to the registry.
+namespace stream_tags { inline constexpr std::uint64_t kRowTag = 7; }
+
+std::uint64_t derive_row_seed(std::uint64_t, std::uint64_t, std::uint64_t);
+struct Rng { static Rng for_stream(std::uint64_t, std::uint64_t); };
+
+void run(std::uint64_t seed, std::uint64_t n, std::uint64_t trial) {
+  Rng::for_stream(seed, trial);                         // variable: data
+  Rng::for_stream(seed, stream_tags::kRowTag | trial);  // named tag + data
+  derive_row_seed(seed, stream_tags::kRowTag, n);       // registry constant
+  derive_row_seed(seed, stream_tags::kRowTag,
+                  static_cast<std::uint64_t>(n * 2));   // composite expr
+}

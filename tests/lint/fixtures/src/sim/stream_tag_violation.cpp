@@ -1,0 +1,16 @@
+// Fixture: magic stream/tag constants that MUST trip stream-tag-registry.
+#include <cstdint>
+
+std::uint64_t derive_row_seed(std::uint64_t, std::uint64_t, std::uint64_t);
+struct Rng { static Rng for_stream(std::uint64_t, std::uint64_t); };
+std::uint64_t stable_row_tag(const char*);
+
+// Unregistered shift-into-high-bits tag constant (line 9).
+inline constexpr std::uint64_t kLocalArrivalTag = std::uint64_t{1} << 60;
+
+void run(std::uint64_t seed, std::uint64_t n) {
+  Rng::for_stream(seed, 1ull << 62);       // shift literal in tag position
+  derive_row_seed(seed, 42, n);            // magic experiment id
+  derive_row_seed(seed, n,
+                  stable_row_tag("local-row"));  // unregistered row string
+}

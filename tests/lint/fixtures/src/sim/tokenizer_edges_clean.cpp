@@ -1,0 +1,31 @@
+// Fixture: tokenizer edge cases that must produce ZERO findings.
+#include <cstdint>
+#define HDR "rows: "
+
+// Raw strings: everything inside is literal text, not code.
+static const char* kRaw = R"(atoi("42") and std::rand() ^ seed)";
+static const char* kDelim = R"x!(sscanf(buf, "%d") // not a comment)x!";
+static const char* kMulti = R"(first line
+strtod( // still inside the raw string
+)";
+
+// An identifier merely ENDING in R is string concatenation, not a raw
+// string prefix; the quote after HDR must open a NORMAL string.
+static const char* kConcat = HDR"%d atoi( nope";
+
+// A backslash continuation extends this comment: atoi("1") ^ seed \
+   sscanf(all, of, this, "is commented out too");
+
+static const char* kEscapes = "an escaped newline keeps the string open \
+atoi( and // stay inside the literal";
+
+// The allow() marker inside a string is text, not a suppression (a real
+// unused one here would be reported as unused-suppression).
+static const char* kNotASuppression =
+    "// radio-lint: allow(no-raw-parse) -- in a string";
+
+const char* use(int i) {
+  const char* all[] = {kRaw, kDelim, kMulti, kConcat, kEscapes,
+                       kNotASuppression};
+  return all[i % 6];
+}

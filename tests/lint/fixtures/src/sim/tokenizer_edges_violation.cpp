@@ -1,0 +1,11 @@
+// Fixture: line bookkeeping through raw strings and continuations — the
+// single real violation below must be reported at ITS line, line 11.
+static const char* kMulti = R"(line one
+atoi("inside a raw string, not code")
+line three)";
+// comment continued by a backslash: sscanf(hidden, "%d", &x) \
+   atoi("also hidden by the continuation");
+static const char* kOpen = "an escaped newline \
+continues this string across the line break";
+
+int real() { return atoi("42"); }

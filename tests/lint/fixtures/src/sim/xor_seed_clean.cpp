@@ -2,10 +2,11 @@
 #include <cstdint>
 
 std::uint64_t derive_row_seed(std::uint64_t, std::uint64_t, std::uint64_t);
+inline constexpr std::uint64_t kFixtureExperiment = 7;
 
 std::uint64_t run(std::uint64_t n) {
   const std::uint64_t seed = 42;
-  const std::uint64_t row = derive_row_seed(seed, 7, n);
+  const std::uint64_t row = derive_row_seed(seed, kFixtureExperiment, n);
   const std::uint64_t hash = (n * 31) ^ (n >> 7);  // XOR without seeds is ok
   const std::uint64_t flip = 1u ^ static_cast<unsigned>(n & 1);
   const char* text = "seed ^ tag inside a string literal never counts";

@@ -15,6 +15,8 @@ import unittest
 THIS_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(os.path.dirname(THIS_DIR))
 FIXTURE_ROOT = os.path.join(THIS_DIR, "fixtures")
+LAYERING_ROOT = os.path.join(FIXTURE_ROOT, "layering")
+LAYERS_JSON = os.path.join(LAYERING_ROOT, "layers.json")
 
 sys.path.insert(0, os.path.join(REPO_ROOT, "scripts"))
 import radio_lint  # noqa: E402
@@ -144,6 +146,107 @@ class NoXorSeedDerivation(unittest.TestCase):
             by_rule(radio_lint.scan_file(sf), radio_lint.RULE_NO_XOR_SEED), [])
 
 
+class StreamTagRegistry(unittest.TestCase):
+    def test_positive(self):
+        findings = scan("src/sim/stream_tag_violation.cpp")
+        hits = by_rule(findings, radio_lint.RULE_STREAM_TAG)
+        self.assertEqual([f.line for f in hits], [9, 12, 13, 15])
+        self.assertIn("'kLocalArrivalTag'", hits[0].message)
+        self.assertIn("shift-into-high-bits", hits[1].message)
+        self.assertIn("integer literal '42'", hits[2].message)
+        self.assertIn("stable_row_tag", hits[3].message)
+
+    def test_negative(self):
+        self.assertEqual(scan("src/sim/stream_tag_clean.cpp"), [])
+
+    def test_suppressed(self):
+        self.assertEqual(scan("src/sim/stream_tag_suppressed.cpp"), [])
+
+    def test_real_registry_is_allowlisted(self):
+        sf = radio_lint.load_source("src/util/stream_tags.hpp", REPO_ROOT)
+        self.assertEqual(radio_lint.scan_file(sf), [])
+
+    def test_real_stream_session_is_clean(self):
+        sf = radio_lint.load_source("src/sim/stream/stream_session.hpp",
+                                    REPO_ROOT)
+        self.assertEqual(
+            by_rule(radio_lint.scan_file(sf), radio_lint.RULE_STREAM_TAG), [])
+
+
+class LayerConformance(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.lm = radio_lint.load_layer_map(LAYERS_JSON)
+        cls.sources = {}
+        cls.grouped = radio_lint.check_layer_conformance(
+            cls.lm, LAYERING_ROOT, cls.sources)
+
+    def suppressed(self, path):
+        return radio_lint.scan_file(
+            self.sources[path], (), extra=self.grouped.get(path, ()))
+
+    def test_upward_include_reported_with_chain(self):
+        hits = self.suppressed("src/util/upward_violation.hpp")
+        self.assertEqual([f.rule for f in hits], [radio_lint.RULE_LAYER])
+        self.assertEqual(hits[0].line, 3)
+        self.assertIn("layer util", hits[0].message)
+        self.assertIn("layer analysis", hits[0].message)
+        self.assertIn(
+            "src/util/upward_violation.hpp -> src/analysis/report.hpp",
+            hits[0].message)
+
+    def test_cycle_reported_with_full_chain(self):
+        hits = self.suppressed("src/sim/cycle_a.hpp")
+        self.assertEqual(len(hits), 1)
+        self.assertIn(
+            "src/sim/cycle_a.hpp -> src/sim/cycle_b.hpp -> "
+            "src/sim/cycle_a.hpp", hits[0].message)
+        # one canonical report per cycle, anchored at the smallest member
+        self.assertEqual(self.suppressed("src/sim/cycle_b.hpp"), [])
+
+    def test_undeclared_external_reported(self):
+        hits = self.suppressed("src/sim/external_violation.cpp")
+        self.assertEqual(len(hits), 1)
+        self.assertIn("<thread>", hits[0].message)
+
+    def test_unmapped_file_reported(self):
+        hits = self.suppressed("src/orphan/nolayer.cpp")
+        self.assertEqual(len(hits), 1)
+        self.assertIn("matches no layer", hits[0].message)
+
+    def test_clean_files_have_no_findings(self):
+        for path in ("src/sim/engine_clean.cpp", "src/util/base.hpp",
+                     "src/analysis/report.hpp"):
+            self.assertNotIn(path, self.grouped)
+
+    def test_justified_suppression_silences(self):
+        self.assertEqual(self.suppressed("src/util/upward_suppressed.hpp"), [])
+
+    def test_bare_allow_is_a_finding(self):
+        hits = self.suppressed("src/util/upward_bare_allow.hpp")
+        self.assertEqual(len(hits), 1)
+        self.assertIn("missing a justification", hits[0].message)
+
+    def test_cli_end_to_end(self):
+        import contextlib
+        import io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = radio_lint.main(
+                ["--root", LAYERING_ROOT, "--layers", LAYERS_JSON,
+                 "--rule", "layer-conformance"])
+        self.assertEqual(code, 1, out.getvalue())
+        lines = [l for l in out.getvalue().splitlines() if l]
+        # upward + bare-allow + cycle + external + unmapped
+        self.assertEqual(len(lines), 5, out.getvalue())
+
+    def test_real_tree_is_conformant(self):
+        lm = radio_lint.load_layer_map(
+            os.path.join(REPO_ROOT, "scripts", "layers.json"))
+        grouped = radio_lint.check_layer_conformance(lm, REPO_ROOT, {})
+        self.assertEqual(grouped, {})
+
+
 class SuppressionMechanics(unittest.TestCase):
     def test_errors(self):
         findings = scan("src/sim/suppression_errors.cpp")
@@ -163,6 +266,27 @@ class Tokenizer(unittest.TestCase):
         self.assertEqual(radio_lint.scrub_source(text).count("\n"),
                          text.count("\n"))
 
+    def test_edge_cases_are_scrubbed(self):
+        # raw strings, //-in-string, comment/string continuations,
+        # suppression text inside a string literal
+        self.assertEqual(scan("src/sim/tokenizer_edges_clean.cpp"), [])
+
+    def test_line_numbers_survive_edge_cases(self):
+        findings = scan("src/sim/tokenizer_edges_violation.cpp")
+        self.assertEqual([(f.rule, f.line) for f in findings],
+                         [(radio_lint.RULE_NO_RAW_PARSE, 11)])
+
+    def test_raw_string_preserves_line_count(self):
+        text = 'auto s = R"(a\nb\nc)";\nint x = atoi("1");\n'
+        scrubbed = radio_lint.scrub_source(text)
+        self.assertEqual(scrubbed.count("\n"), text.count("\n"))
+        self.assertNotIn("atoi", scrubbed.splitlines()[0])
+        self.assertIn("atoi", scrubbed.splitlines()[3])
+
+    def test_identifier_ending_in_R_is_not_raw_prefix(self):
+        text = 'auto s = HDR"atoi( still a plain string";\nint t;\n'
+        self.assertNotIn("atoi", radio_lint.scrub_source(text))
+
 
 class EndToEnd(unittest.TestCase):
     def test_cli_over_fixture_tree_reports_all_violations(self):
@@ -174,8 +298,9 @@ class EndToEnd(unittest.TestCase):
         self.assertEqual(code, 1)
         lines = [l for l in out.getvalue().splitlines() if l]
         # 4 raw-parse + 4 global-rng + 1 stream + 3 wallclock + 4 iostream
-        # + 2 unordered + 3 xor-seed + 3 suppression-mechanics findings
-        self.assertEqual(len(lines), 24)
+        # + 2 unordered + 3 xor-seed + 3 suppression-mechanics
+        # + 4 stream-tag + 1 tokenizer-edge findings
+        self.assertEqual(len(lines), 29)
         for line in lines:
             self.assertRegex(line, r"^[^:]+:\d+: radio-lint\([a-z-]+\): ")
 

@@ -1,0 +1,17 @@
+// Negative compile test: proves the registry's uniqueness machinery actually
+// fires. Registering a duplicate value must fail the static_assert — this TU
+// re-registers kE4ProtocolComparison's value (4) next to a literal 4 and
+// asserts distinctness, which must NOT compile. ctest runs the compiler with
+// -fsyntax-only and expects FAILURE (util.stream_tags_collision_negcompile,
+// WILL_FAIL). If this file ever compiles, the static_asserts in
+// util/stream_tags.hpp have stopped guarding anything.
+#include "util/stream_tags.hpp"
+
+namespace radio::stream_tags {
+
+inline constexpr std::uint64_t kCollidingPair[] = {kE4ProtocolComparison, 4};
+static_assert(detail::all_distinct(kCollidingPair),
+              "expected failure: 4 is already registered as "
+              "kE4ProtocolComparison");
+
+}  // namespace radio::stream_tags
